@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper figure at reduced scale (3 seeds
+instead of the paper's 10, a 3-point error sweep) so the whole suite runs
+in minutes; the experiment modules accept full-scale parameters for the
+EXPERIMENTS.md numbers.  Run with ``-s`` to see the regenerated tables.
+"""
+
+from __future__ import annotations
+
+#: Reduced sweep: low / paper-default / worst-case error rates.
+FAST_ERROR_RATES = (0.05, 0.15, 0.50)
+FAST_SEEDS = tuple(range(3))
+
+
+def show(result) -> None:
+    """Print a figure table (visible with pytest -s)."""
+    from repro.experiments.report import format_table
+
+    print()
+    print(format_table(result))

@@ -1,0 +1,97 @@
+"""Ablation: checkpoint retention depth and cadence.
+
+The paper keeps the latest n=3 checkpoints (dynamically adjusted) and
+defaults to per-state implicit checkpointing; explicit checkpointing
+widens the interval to cut overhead at the price of more redo.  This
+bench quantifies both knobs on the DL workload.
+"""
+
+from conftest import FAST_SEEDS, show
+
+from repro.checkpoint.policy import CheckpointPolicy, RetentionPolicy
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import mean_of, run_repeated
+
+ERROR_RATE = 0.25
+INTERVALS = (1, 2, 4)
+
+
+def run_ablation():
+    rows = []
+    for interval in INTERVALS:
+        summaries = run_repeated(
+            ScenarioConfig(
+                workload="dl-training",
+                strategy="canary",
+                error_rate=ERROR_RATE,
+                num_functions=50,
+                checkpoint_interval=interval,
+            ),
+            FAST_SEEDS,
+        )
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "interval": interval,
+                "mean_recovery_s": row["mean_recovery_s"],
+                "checkpoint_time_s": row["checkpoint_time_s"],
+                "checkpoints": row["checkpoints_taken"],
+                "makespan_s": row["makespan_s"],
+            }
+        )
+    for retention in (RetentionPolicy(dynamic=False, initial_n=2, min_n=2),
+                      RetentionPolicy()):
+        summaries = run_repeated(
+            ScenarioConfig(
+                workload="dl-training",
+                strategy="canary",
+                error_rate=ERROR_RATE,
+                num_functions=50,
+                checkpoint_policy=CheckpointPolicy(retention=retention),
+            ),
+            FAST_SEEDS,
+        )
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "interval": 1,
+                "retention": "dynamic" if retention.dynamic else "static-2",
+                "mean_recovery_s": row["mean_recovery_s"],
+                "checkpoint_time_s": row["checkpoint_time_s"],
+                "checkpoints": row["checkpoints_taken"],
+                "makespan_s": row["makespan_s"],
+            }
+        )
+    return FigureResult(
+        figure="ablation-retention",
+        title="Checkpoint interval & retention ablation (DL, 25% errors)",
+        columns=("interval", "retention", "mean_recovery_s",
+                 "checkpoint_time_s", "checkpoints", "makespan_s"),
+        rows=rows,
+    )
+
+
+def test_ablation_checkpoint_retention(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    show(result)
+
+    by_interval = {
+        row["interval"]: row
+        for row in result.rows
+        if "retention" not in row
+    }
+    # Wider intervals take fewer checkpoints and spend less ckpt time...
+    assert (
+        by_interval[1]["checkpoints"]
+        > by_interval[2]["checkpoints"]
+        > by_interval[4]["checkpoints"]
+    )
+    assert (
+        by_interval[1]["checkpoint_time_s"]
+        > by_interval[4]["checkpoint_time_s"]
+    )
+    # ...but pay more redo per failure (recovery grows with the interval).
+    assert (
+        by_interval[4]["mean_recovery_s"] > by_interval[1]["mean_recovery_s"]
+    )

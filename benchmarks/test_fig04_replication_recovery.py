@@ -1,0 +1,67 @@
+"""Fig. 4 bench: replicated runtimes vs recovery time (all five workloads).
+
+Paper shape: retry's recovery grows ~linearly with the error rate; Canary
+stays nearly flat and 76-81 % lower on average.
+"""
+
+from conftest import FAST_ERROR_RATES, FAST_SEEDS, show
+
+from repro.experiments import fig04
+from repro.workloads.profiles import ALL_WORKLOADS
+
+WORKLOADS = [w.name for w in ALL_WORKLOADS]
+
+
+def test_fig04_replication_recovery(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig04.run(
+            seeds=FAST_SEEDS,
+            error_rates=FAST_ERROR_RATES,
+            workloads=WORKLOADS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    for workload in WORKLOADS:
+        # Canary beats retry at every error rate.
+        for error_rate in FAST_ERROR_RATES:
+            retry = result.value(
+                "mean_recovery_s",
+                workload=workload,
+                strategy="retry",
+                error_rate=error_rate,
+            )
+            canary = result.value(
+                "mean_recovery_s",
+                workload=workload,
+                strategy="canary",
+                error_rate=error_rate,
+            )
+            assert canary < retry, (workload, error_rate)
+            # Paper band: >= 60% reduction everywhere in our sweep.
+            assert canary < 0.4 * retry, (workload, error_rate)
+
+        # Retry's *total* recovery grows with the error rate (more victims);
+        # Canary's mean stays nearly flat.
+        retry_totals = [
+            result.value(
+                "total_recovery_s",
+                workload=workload,
+                strategy="retry",
+                error_rate=e,
+            )
+            for e in FAST_ERROR_RATES
+        ]
+        assert retry_totals == sorted(retry_totals), workload
+        canary_means = [
+            result.value(
+                "mean_recovery_s",
+                workload=workload,
+                strategy="canary",
+                error_rate=e,
+            )
+            for e in FAST_ERROR_RATES
+        ]
+        assert max(canary_means) < 3 * min(canary_means), workload

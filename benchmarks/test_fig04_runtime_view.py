@@ -1,0 +1,41 @@
+"""Fig. 4 companion bench: per-runtime recovery (python/nodejs/java).
+
+Paper context: retry repeats the runtime's cold start on every recovery,
+so its recovery time inherits the cold-start ordering java » python >
+nodejs; Canary's warm replicas erase most of that difference.
+"""
+
+from conftest import FAST_SEEDS, show
+
+from repro.experiments import fig04_runtimes
+
+
+def test_fig04_runtime_view(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig04_runtimes.run(seeds=FAST_SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    def recovery(runtime, strategy):
+        return result.value(
+            "mean_recovery_s", runtime=runtime, strategy=strategy
+        )
+
+    # Retry inherits the cold-start ordering of the runtimes.
+    assert (
+        recovery("java", "retry")
+        > recovery("python", "retry")
+        > recovery("nodejs", "retry")
+    )
+    # Canary beats retry for every runtime...
+    for runtime in ("python", "nodejs", "java"):
+        assert recovery(runtime, "canary") < 0.5 * recovery(runtime, "retry")
+    # ...and flattens the runtime spread: Canary's worst/best ratio is far
+    # below retry's.
+    canary_vals = [recovery(r, "canary") for r in ("python", "nodejs", "java")]
+    retry_vals = [recovery(r, "retry") for r in ("python", "nodejs", "java")]
+    canary_spread = max(canary_vals) / min(canary_vals)
+    retry_spread = max(retry_vals) / min(retry_vals)
+    assert canary_spread < retry_spread

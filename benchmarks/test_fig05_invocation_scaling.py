@@ -1,0 +1,65 @@
+"""Fig. 5 bench: recovery time vs number of invocations at 15 % failures.
+
+Paper shape: Canary stays close to the ideal scenario at every scale and
+cuts recovery by up to 82 % vs retry.
+"""
+
+from conftest import FAST_SEEDS, show
+
+from repro.experiments import fig05
+
+WORKLOADS = ("graph-bfs", "web-service", "dl-training")
+INVOCATIONS = (100, 200, 400)
+
+
+def test_fig05_invocation_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig05.run(
+            seeds=FAST_SEEDS,
+            invocations=INVOCATIONS,
+            workloads=WORKLOADS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    for workload in WORKLOADS:
+        for n in INVOCATIONS:
+            retry = result.value(
+                "mean_recovery_s",
+                workload=workload,
+                strategy="retry",
+                invocations=n,
+            )
+            canary = result.value(
+                "mean_recovery_s",
+                workload=workload,
+                strategy="canary",
+                invocations=n,
+            )
+            assert canary < 0.5 * retry, (workload, n)
+
+        # Canary's per-failure recovery stays ~flat as the scale grows.
+        canary_means = [
+            result.value(
+                "mean_recovery_s",
+                workload=workload,
+                strategy="canary",
+                invocations=n,
+            )
+            for n in INVOCATIONS
+        ]
+        assert max(canary_means) < 3 * min(canary_means), workload
+
+        # Ideal has no failures at any scale.
+        for n in INVOCATIONS:
+            assert (
+                result.value(
+                    "total_recovery_s",
+                    workload=workload,
+                    strategy="ideal",
+                    invocations=n,
+                )
+                == 0.0
+            )

@@ -1,0 +1,49 @@
+"""Fig. 8 bench: dollar cost and execution time of the DL workload.
+
+Paper shape: cost grows with the error rate for both retry and Canary;
+Canary undercuts retry (up to 12 %), stays within ~8 % of ideal on average,
+and executes markedly faster than retry.
+"""
+
+from conftest import FAST_ERROR_RATES, FAST_SEEDS, show
+
+from repro.experiments import fig08
+
+
+def test_fig08_dollar_cost(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig08.run(seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    ideal_cost = result.value("cost_usd", strategy="ideal", error_rate=0.0)
+
+    retry_costs = [
+        result.value("cost_usd", strategy="retry", error_rate=e)
+        for e in FAST_ERROR_RATES
+    ]
+    canary_costs = [
+        result.value("cost_usd", strategy="canary", error_rate=e)
+        for e in FAST_ERROR_RATES
+    ]
+
+    # Cost grows with the error rate under retry (redone work is billed).
+    assert retry_costs == sorted(retry_costs)
+
+    # Canary is cheaper than retry at the moderate/high error rates and
+    # the gap widens with the error rate.
+    assert canary_costs[-1] < retry_costs[-1]
+    gap_low = retry_costs[0] - canary_costs[0]
+    gap_high = retry_costs[-1] - canary_costs[-1]
+    assert gap_high > gap_low
+
+    # Canary's overhead vs ideal stays modest (paper: +8% average).
+    for cost in canary_costs:
+        assert cost < 1.25 * ideal_cost
+
+    # Canary executes much faster than retry at high error rates.
+    retry_t = result.value("makespan_s", strategy="retry", error_rate=0.5)
+    canary_t = result.value("makespan_s", strategy="canary", error_rate=0.5)
+    assert canary_t < 0.6 * retry_t

@@ -1,0 +1,61 @@
+"""Fig. 9 bench: dynamic vs aggressive vs lenient replication.
+
+Paper shape: AR = lowest execution time, highest cost; LR = cheapest at
+low error rates but execution time grows fastest; DR lands at the optimal
+operating point (25 % cheaper than AR, ~2 % off LR).
+"""
+
+from conftest import FAST_ERROR_RATES, FAST_SEEDS, show
+
+from repro.experiments import fig09
+
+
+def mean(values):
+    return sum(values) / len(values)
+
+
+def test_fig09_replication_strategies(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig09.run(seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    def series(replication, column):
+        return [
+            result.value(column, replication=replication, error_rate=e)
+            for e in FAST_ERROR_RATES
+        ]
+
+    dr_cost = mean(series("dynamic", "cost_usd"))
+    ar_cost = mean(series("aggressive", "cost_usd"))
+    lr_cost = mean(series("lenient", "cost_usd"))
+
+    # AR burns far more money on idle replicas than DR.
+    assert ar_cost > 1.1 * dr_cost
+    # DR sits near LR on cost (paper: within a couple of percent).
+    assert abs(dr_cost - lr_cost) / lr_cost < 0.10
+
+    # AR keeps by far the largest *idle* pools: its replica spend dwarfs
+    # DR's at the low error rate, where DR holds only one or two replicas.
+    # (Cumulative launch counts converge at high rates because every claim
+    # triggers a replacement under both policies.)
+    ar_low = result.value(
+        "cost_replica_usd",
+        replication="aggressive",
+        error_rate=FAST_ERROR_RATES[0],
+    )
+    dr_low = result.value(
+        "cost_replica_usd",
+        replication="dynamic",
+        error_rate=FAST_ERROR_RATES[0],
+    )
+    assert ar_low > 3 * dr_low
+
+    # AR's worst-case makespan stays at or below DR's: there is always a
+    # warm replica waiting.
+    assert (
+        series("aggressive", "makespan_s")[-1]
+        <= series("dynamic", "makespan_s")[-1] * 1.05
+    )

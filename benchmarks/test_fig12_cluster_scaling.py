@@ -1,0 +1,47 @@
+"""Fig. 12 bench: cluster-size scaling (1-16 nodes, batch of jobs, 15 %).
+
+Paper shape: total execution time falls for all three scenarios as nodes
+are added; Canary stays within a few percent of ideal and beats retry by
+up to 17 %.
+"""
+
+from conftest import show
+
+from repro.experiments import fig12
+
+NODE_COUNTS = (1, 4, 16)
+NUM_FUNCTIONS = 2000
+JOBS = 4
+SEEDS = tuple(range(2))
+
+
+def test_fig12_cluster_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12.run(
+            seeds=SEEDS,
+            node_counts=NODE_COUNTS,
+            num_functions=NUM_FUNCTIONS,
+            jobs=JOBS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    for strategy in ("ideal", "retry", "canary"):
+        makespans = [
+            result.value("makespan_s", strategy=strategy, nodes=n)
+            for n in NODE_COUNTS
+        ]
+        # More nodes -> shorter batch makespan (scalability).
+        assert makespans[0] > makespans[-1], strategy
+
+    for nodes in NODE_COUNTS:
+        ideal = result.value("makespan_s", strategy="ideal", nodes=nodes)
+        retry = result.value("makespan_s", strategy="retry", nodes=nodes)
+        canary = result.value("makespan_s", strategy="canary", nodes=nodes)
+        # Ordering: ideal <= canary < retry.
+        assert ideal <= canary * 1.01, nodes
+        assert canary < retry, nodes
+        # Canary stays within 25% of ideal even on saturated clusters.
+        assert canary < 1.25 * ideal, nodes

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Real DL training with fault injection through the checkpoint API.
+
+Trains a small least-squares model (the executable stand-in for the
+paper's ResNet50 job) with per-epoch checkpoints, kills it twice mid-run,
+and shows that:
+
+* with **Canary** recovery the loss trajectory is identical to the
+  failure-free run and only the uncheckpointed epochs are recomputed;
+* with **retry** recovery the result is also correct but every epoch is
+  recomputed from scratch on each attempt.
+
+Run:
+    python examples/dl_training.py
+"""
+
+from repro.executor import FaultPlan, LocalExecutor
+from repro.workloads.dl import make_dl_training
+
+EPOCHS = 10
+KILL_AT = [4, 7]  # kill at the save of epochs 4 and 7
+
+
+def run(strategy: str, kills):
+    executor = LocalExecutor(
+        strategy=strategy,
+        fault_plan=FaultPlan({"train-0": list(kills)}),
+    )
+    result = executor.run_function(
+        "train-0", make_dl_training(epochs=EPOCHS, dim=48, seed=7)
+    )
+    return result
+
+
+def main() -> None:
+    clean = run("canary", [])
+    print(f"failure-free : attempts={clean.attempts}  "
+          f"final loss={clean.value.losses[-1]:.5f}")
+
+    canary = run("canary", KILL_AT)
+    print(
+        f"canary       : attempts={canary.attempts} (kills={canary.kills}), "
+        f"resumed from epochs {[s for s in canary.restored_states if s is not None]}, "
+        f"final-attempt epochs computed={canary.value.work_units}"
+    )
+    retry = run("retry", KILL_AT)
+    print(
+        f"retry        : attempts={retry.attempts} (kills={retry.kills}), "
+        f"no checkpoints, final-attempt epochs computed="
+        f"{retry.value.work_units}"
+    )
+
+    assert canary.value.losses == clean.value.losses, "trajectory changed!"
+    assert retry.value.losses == clean.value.losses, "trajectory changed!"
+    print("\nloss trajectories identical across all three runs ✔")
+    print(
+        f"canary recomputed {canary.value.work_units} epochs in its final "
+        f"attempt vs {retry.value.work_units} for retry "
+        f"(checkpoint restore saved "
+        f"{retry.value.work_units - canary.value.work_units} epochs)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Statistical helpers for experiment analysis."""
+
+from repro.analysis.stats import (
+    ComparisonResult,
+    bootstrap_ci,
+    compare,
+    mean_confidence_interval,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "bootstrap_ci",
+    "compare",
+    "mean_confidence_interval",
+]

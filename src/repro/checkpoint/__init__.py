@@ -1,0 +1,18 @@
+"""Checkpointing Module (§IV-C-4, Algorithm 1).
+
+State and critical-data checkpointing: registers application states, stores
+the latest *n* checkpoints per function (n starts at 3 and adapts), routes
+payloads between the KV store and spill tiers, and answers restore queries
+during recovery.
+"""
+
+from repro.checkpoint.module import CheckpointingModule
+from repro.checkpoint.policy import CheckpointPolicy, RetentionPolicy
+from repro.checkpoint.records import CheckpointRecord
+
+__all__ = [
+    "CheckpointPolicy",
+    "CheckpointRecord",
+    "CheckpointingModule",
+    "RetentionPolicy",
+]

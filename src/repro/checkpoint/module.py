@@ -1,0 +1,252 @@
+"""The Checkpointing Module: Algorithm 1 plus restore queries.
+
+For each registered state the module (Algorithm 1):
+
+1. builds the checkpoint payload (state + critical data, or the
+   user-provided explicit checkpoint);
+2. routes it — inline into the KV store when it fits ``db_limit``, else
+   spilled to the fastest tier with only ``{ckpt_name, ckpt_loc}`` recorded;
+3. evicts the oldest checkpoint when the function exceeds its retention
+   threshold ``ckpt_thresh`` (latest-n);
+4. pushes ``{job_id, fn_id, ckpt_id, ckpt}`` to the database.
+
+Restores return the newest *available* checkpoint — a checkpoint whose
+payload died with a node (non-shared tier) is skipped in favour of an older
+surviving one, which is exactly the shared-storage argument of §V-D-6.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Optional
+
+from repro.checkpoint.policy import CheckpointPolicy
+from repro.checkpoint.records import CheckpointRecord
+from repro.core.database import CanaryDatabase
+from repro.core.ids import IdGenerator
+from repro.storage.router import CheckpointStorageRouter
+
+
+class CheckpointingModule:
+    """Stores, retains, and restores function checkpoints."""
+
+    def __init__(
+        self,
+        router: CheckpointStorageRouter,
+        database: CanaryDatabase,
+        ids: IdGenerator,
+        *,
+        policy: CheckpointPolicy | None = None,
+        flush_lag_s: float = 0.0,
+    ) -> None:
+        """
+        Args:
+            flush_lag_s: Models §IV-C-4-b's asynchronous flush — a
+                checkpoint written on a node only becomes durable against
+                that node's failure after this lag.  0 (default) means the
+                replicated write path is synchronous (Ignite replicated
+                caching mode).
+        """
+        if flush_lag_s < 0:
+            raise ValueError("flush_lag_s must be non-negative")
+        self.router = router
+        self.database = database
+        self.ids = ids
+        self.policy = policy or CheckpointPolicy()
+        self.flush_lag_s = flush_lag_s
+        self._per_function: dict[str, collections.deque[CheckpointRecord]] = {}
+        self._effective_interval: dict[str, int] = {}
+        # checkpoint_id -> (home node, time it becomes durable)
+        self._pending_flush: dict[str, tuple[str, float]] = {}
+        self._lost: set[str] = set()
+        # statistics
+        self.checkpoints_taken = 0
+        self.checkpoints_evicted = 0
+        self.restores_served = 0
+        self.restores_fallback = 0  # restored from an older generation
+        self.bytes_written = 0.0
+
+    # ------------------------------------------------------------------
+    # Cadence
+    # ------------------------------------------------------------------
+    def effective_interval(self, function_id: str) -> int:
+        return self._effective_interval.get(function_id, self.policy.interval)
+
+    def set_interval(self, function_id: str, interval: int) -> None:
+        """Pin a function's checkpoint interval (job-level override)."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._effective_interval[function_id] = interval
+
+    def should_checkpoint(self, function_id: str, state_index: int) -> bool:
+        return self.policy.should_checkpoint(
+            state_index, self.effective_interval(function_id)
+        )
+
+    def _maybe_adapt_interval(
+        self, function_id: str, write_time_s: float, state_duration_s: float
+    ) -> None:
+        if not self.policy.adaptive_interval or state_duration_s <= 0:
+            return
+        ratio = write_time_s / state_duration_s
+        if ratio > self.policy.max_overhead_ratio:
+            current = self.effective_interval(function_id)
+            self._effective_interval[function_id] = min(current * 2, 64)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: record a state
+    # ------------------------------------------------------------------
+    def record_state(
+        self,
+        *,
+        job_id: str,
+        function_id: str,
+        state_index: int,
+        size_bytes: float,
+        serialize_overhead_s: float,
+        now: float,
+        node_id: Optional[str] = None,
+        payload: Any = None,
+        state_duration_s: float = 0.0,
+    ) -> tuple[CheckpointRecord, float]:
+        """Checkpoint one completed state; return (record, time charged).
+
+        The returned duration is ``ckp_i`` of Eq. 2: serialization plus the
+        storage write (the asynchronous flush to shared storage is off the
+        critical path and not charged).
+        """
+        checkpoint_id = self.ids.checkpoint_id(function_id)
+        key = f"ckpt/{function_id}/{checkpoint_id}"
+        ref, write_time = self.router.write(
+            key, payload, size_bytes=size_bytes, now=now, node_id=node_id
+        )
+        record = CheckpointRecord(
+            checkpoint_id=checkpoint_id,
+            job_id=job_id,
+            function_id=function_id,
+            state_index=state_index,
+            size_bytes=size_bytes,
+            ref=ref,
+            created_at=now,
+            payload=payload,
+        )
+        chain = self._per_function.setdefault(function_id, collections.deque())
+        chain.append(record)
+        self.database.checkpoint_info.insert(
+            {
+                "checkpoint_id": checkpoint_id,
+                "job_id": job_id,
+                "function_id": function_id,
+                "state_index": state_index,
+                "size_bytes": size_bytes,
+                "location": ref.tier_name,
+                "created_at": now,
+                "available": True,
+            }
+        )
+        if self.flush_lag_s > 0 and node_id is not None:
+            self._pending_flush[checkpoint_id] = (
+                node_id,
+                now + self.flush_lag_s,
+            )
+        self._evict(function_id, chain, state_duration_s)
+        self.checkpoints_taken += 1
+        self.bytes_written += size_bytes
+        self._maybe_adapt_interval(
+            function_id, serialize_overhead_s + write_time, state_duration_s
+        )
+        return record, serialize_overhead_s + write_time
+
+    def _evict(
+        self,
+        function_id: str,
+        chain: collections.deque,
+        state_duration_s: float,
+    ) -> None:
+        """Drop oldest checkpoints beyond the (dynamic) retention depth."""
+        latest = chain[-1]
+        threshold = self.policy.retention.target_n(
+            checkpoint_size_bytes=latest.size_bytes,
+            state_period_s=state_duration_s or 1.0,
+            db_limit_bytes=self.router.kv.db_limit_bytes,
+        )
+        while len(chain) > threshold:
+            oldest = chain.popleft()
+            self.router.delete(oldest.ref)
+            self.database.checkpoint_info.update(
+                oldest.checkpoint_id, available=False
+            )
+            self.checkpoints_evicted += 1
+
+    # ------------------------------------------------------------------
+    # Restore path
+    # ------------------------------------------------------------------
+    def latest(self, function_id: str) -> Optional[CheckpointRecord]:
+        """Newest checkpoint whose payload is still fetchable."""
+        chain = self._per_function.get(function_id)
+        if not chain:
+            return None
+        for offset, record in enumerate(reversed(chain)):
+            if record.checkpoint_id in self._lost:
+                continue
+            if self.router.is_available(record.ref):
+                self.restores_served += 1
+                if offset > 0:
+                    self.restores_fallback += 1
+                return record
+        return None
+
+    def restore_time(self, record: CheckpointRecord) -> float:
+        """Seconds to fetch the checkpoint payload (part of ``t_res``)."""
+        return self.router.read_time(record.ref)
+
+    def on_node_failure(
+        self, node_id: str, now: Optional[float] = None
+    ) -> list[str]:
+        """Propagate node loss into checkpoint availability.
+
+        Two loss modes: payloads on node-local tiers die with the node
+        (router), and — with a non-zero flush lag — checkpoints written
+        from the node that had not yet flushed to shared storage.
+        """
+        lost_keys = set(self.router.on_node_failure(node_id))
+        lost_ids: list[str] = []
+        if self.flush_lag_s > 0:
+            for checkpoint_id, (home, durable_at) in list(
+                self._pending_flush.items()
+            ):
+                if now is not None and now >= durable_at:
+                    # Flushed long ago; stop tracking.
+                    del self._pending_flush[checkpoint_id]
+                    continue
+                if home == node_id:
+                    self._lost.add(checkpoint_id)
+                    del self._pending_flush[checkpoint_id]
+                    self.database.checkpoint_info.update(
+                        checkpoint_id, available=False
+                    )
+                    lost_ids.append(checkpoint_id)
+        if not lost_keys:
+            return lost_ids
+        for chain in self._per_function.values():
+            for record in chain:
+                if record.ref.key in lost_keys:
+                    self.database.checkpoint_info.update(
+                        record.checkpoint_id, available=False
+                    )
+                    lost_ids.append(record.checkpoint_id)
+        return lost_ids
+
+    def drop_function(self, function_id: str) -> None:
+        """Release all checkpoints of a completed function."""
+        chain = self._per_function.pop(function_id, None)
+        if not chain:
+            return
+        for record in chain:
+            self.router.delete(record.ref)
+            self.database.checkpoint_info.update(
+                record.checkpoint_id, available=False
+            )
+
+    def chain_length(self, function_id: str) -> int:
+        return len(self._per_function.get(function_id, ()))

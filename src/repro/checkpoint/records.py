@@ -1,0 +1,37 @@
+"""Checkpoint records: what the database knows about one saved state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.storage.router import StoredObjectRef
+
+
+@dataclass
+class CheckpointRecord:
+    """One saved checkpoint of one function.
+
+    Attributes:
+        checkpoint_id: Unique ID minted by the Core Module.
+        job_id / function_id: Owning job and function.
+        state_index: Index of the last completed state captured.
+        size_bytes: Payload size.
+        ref: Physical location (inline KV entry or spilled tier object).
+        created_at: Virtual time the checkpoint finished writing.
+        payload: Actual checkpoint content in the local executor; ``None``
+            in the simulator (sizes only).
+    """
+
+    checkpoint_id: str
+    job_id: str
+    function_id: str
+    state_index: int
+    size_bytes: float
+    ref: StoredObjectRef
+    created_at: float
+    payload: Any = None
+
+    @property
+    def location(self) -> str:
+        return self.ref.tier_name

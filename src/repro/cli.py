@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Installed as ``canary-sim`` (also runnable via ``python -m repro``):
+
+.. code-block:: console
+
+    canary-sim workloads                       # list workload profiles
+    canary-sim strategies                      # list recovery strategies
+    canary-sim run --workload dl-training --strategy canary \
+               --error-rate 0.15 --functions 100 --seed 0
+    canary-sim figure fig7 --fast              # regenerate a paper figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from typing import Optional, Sequence
+
+from repro.common.types import RecoveryStrategyName, ReplicationStrategyName
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_scenario
+from repro.workloads.profiles import WORKLOADS_BY_NAME
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print(f"{'name':16s} {'runtime':8s} {'states':>6s} {'state(s)':>9s} "
+          f"{'ckpt size':>12s}")
+    for name in sorted(WORKLOADS_BY_NAME):
+        profile = WORKLOADS_BY_NAME[name]
+        print(
+            f"{name:16s} {profile.runtime.value:8s} {profile.n_states:6d} "
+            f"{profile.state_duration_s:8.2f}s "
+            f"{profile.checkpoint_size_bytes / 2**20:10.1f}MiB"
+        )
+    return 0
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    for name in RecoveryStrategyName:
+        print(name.value)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = ScenarioConfig(
+        workload=args.workload,
+        strategy=args.strategy,
+        error_rate=args.error_rate,
+        num_functions=args.functions,
+        num_nodes=args.nodes,
+        jobs=args.jobs,
+        replication_strategy=args.replication,
+        checkpoint_interval=args.checkpoint_interval,
+        node_failure_count=args.node_failures,
+    )
+    summary = run_scenario(scenario, seed=args.seed)
+    if args.json:
+        print(json.dumps(asdict(summary), indent=2))
+        return 0
+    print(f"strategy          : {summary.strategy}")
+    print(f"workload          : {summary.workload}")
+    print(f"functions         : {summary.completed}/{summary.num_functions} "
+          f"completed on {summary.num_nodes} nodes")
+    print(f"error rate        : {summary.error_rate:.0%} "
+          f"({summary.failures} failures, {summary.unrecovered} unrecovered)")
+    print(f"makespan          : {summary.makespan_s:.2f}s")
+    print(f"recovery (total)  : {summary.total_recovery_s:.2f}s")
+    print(f"recovery (mean)   : {summary.mean_recovery_s:.2f}s")
+    print(f"checkpoints       : {summary.checkpoints_taken} "
+          f"({summary.checkpoint_time_s:.2f}s charged)")
+    print(f"replicas launched : {summary.replicas_launched}")
+    print(f"cost              : ${summary.cost_total:.4f} "
+          f"(functions ${summary.cost_function:.4f}, "
+          f"replicas ${summary.cost_replica:.4f}, "
+          f"standbys ${summary.cost_standby:.4f})")
+    return 0
+
+
+def _figure_command(args: argparse.Namespace) -> int:
+    """Regenerate one paper figure (same engine as examples/paper_figures)."""
+    from repro.experiments import (
+        fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12,
+    )
+
+    figures = {
+        "fig4": fig04, "fig5": fig05, "fig6": fig06, "fig7": fig07,
+        "fig8": fig08, "fig9": fig09, "fig10": fig10, "fig11": fig11,
+        "fig12": fig12,
+    }
+    module = figures[args.name]
+    kwargs = {}
+    if args.fast:
+        kwargs["seeds"] = range(3)
+    result = module.run(**kwargs)
+    print(format_table(result))
+    if args.chart:
+        from repro.experiments.charts import series_chart
+
+        series_col = result.columns[0]
+        x_col = result.columns[1] if len(result.columns) > 1 else series_col
+        numeric = [
+            c for c in result.columns
+            if c not in (series_col, x_col)
+            and result.rows
+            and isinstance(result.rows[0].get(c), float)
+        ]
+        if numeric:
+            print()
+            print(
+                series_chart(
+                    result, x=x_col, y=numeric[0], series=series_col
+                )
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="canary-sim",
+        description="Canary (SC'22) reproduction: simulate fault-tolerant "
+        "FaaS scenarios and regenerate the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list workload profiles").set_defaults(
+        func=_cmd_workloads
+    )
+    sub.add_parser("strategies", help="list recovery strategies").set_defaults(
+        func=_cmd_strategies
+    )
+
+    run = sub.add_parser("run", help="simulate one scenario")
+    run.add_argument("--workload", default="dl-training",
+                     choices=sorted(WORKLOADS_BY_NAME))
+    run.add_argument("--strategy", default="canary",
+                     choices=[s.value for s in RecoveryStrategyName])
+    run.add_argument("--replication", default="dynamic",
+                     choices=[s.value for s in ReplicationStrategyName])
+    run.add_argument("--error-rate", type=float, default=0.15)
+    run.add_argument("--functions", type=int, default=100)
+    run.add_argument("--nodes", type=int, default=16)
+    run.add_argument("--jobs", type=int, default=1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--checkpoint-interval", type=int, default=1)
+    run.add_argument("--node-failures", type=int, default=0)
+    run.add_argument("--json", action="store_true",
+                     help="emit the summary as JSON")
+    run.set_defaults(func=_cmd_run)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=[f"fig{i}" for i in range(4, 13)])
+    figure.add_argument("--fast", action="store_true")
+    figure.add_argument("--chart", action="store_true",
+                        help="append a terminal bar chart of the first "
+                        "numeric column")
+    figure.set_defaults(func=_figure_command)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Heterogeneous cluster substrate.
+
+Models the paper's testbed: 16 bare-metal nodes with three Xeon Gold SKUs
+(6126 / 6240R / 6242), 192 GB of memory each, connected over 10 GbE and
+grouped into racks.  Heterogeneity shows up as per-node speed factors that
+scale container launch, initialization, and state execution times (§I, §II).
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.heterogeneity import (
+    CHAMELEON_PROFILES,
+    HeterogeneityModel,
+    NodeProfile,
+)
+from repro.cluster.node import Node
+from repro.cluster.topology import Topology
+
+__all__ = [
+    "CHAMELEON_PROFILES",
+    "Cluster",
+    "HeterogeneityModel",
+    "Node",
+    "NodeProfile",
+    "Topology",
+]

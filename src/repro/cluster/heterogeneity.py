@@ -1,0 +1,107 @@
+"""Node hardware profiles and the heterogeneity model.
+
+The testbed mixes three Xeon Gold SKUs.  Newer/faster SKUs get speed factors
+above 1.0; older hardware is both slower and (per §I: "older hardware is more
+prone to failure") more likely to be picked by the node-failure injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.units import gb
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Static hardware description of one node class.
+
+    Attributes:
+        name: Human-readable SKU label.
+        speed_factor: Relative compute speed; execution/launch/init durations
+            are divided by this (1.0 = baseline).
+        memory_bytes: Installed memory available to function containers.
+        container_slots: Max containers concurrently resident on the node.
+        failure_weight: Relative probability of being chosen for node-level
+            failure injection (older hardware fails more often).
+    """
+
+    name: str
+    speed_factor: float
+    memory_bytes: float
+    container_slots: int
+    failure_weight: float
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        if self.container_slots <= 0:
+            raise ValueError("container_slots must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.failure_weight < 0:
+            raise ValueError("failure_weight must be non-negative")
+
+
+#: The three SKUs of the Chameleon testbed (§V-C-1), 192 GB each.  Speed
+#: factors follow base-clock/core-count ordering: 6126 (2017, 2.6 GHz) is the
+#: slowest and most failure-prone, 6240R (2020) the middle, 6242 (2019,
+#: 2.8 GHz high-clock) the fastest.
+CHAMELEON_PROFILES: tuple[NodeProfile, ...] = (
+    NodeProfile(
+        name="xeon-gold-6126",
+        speed_factor=0.85,
+        memory_bytes=gb(192),
+        container_slots=48,
+        failure_weight=3.0,
+    ),
+    NodeProfile(
+        name="xeon-gold-6240r",
+        speed_factor=1.0,
+        memory_bytes=gb(192),
+        container_slots=48,
+        failure_weight=1.5,
+    ),
+    NodeProfile(
+        name="xeon-gold-6242",
+        speed_factor=1.15,
+        memory_bytes=gb(192),
+        container_slots=48,
+        failure_weight=1.0,
+    ),
+)
+
+
+class HeterogeneityModel:
+    """Assigns hardware profiles to node indices.
+
+    Assignment cycles deterministically through the profile list with a
+    seeded shuffle, so a 16-node cluster gets a stable mixed population and
+    the same seed always produces the same mix.
+    """
+
+    def __init__(
+        self,
+        profiles: tuple[NodeProfile, ...] = CHAMELEON_PROFILES,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not profiles:
+            raise ValueError("at least one node profile is required")
+        self.profiles = tuple(profiles)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # A single shuffled order reused cyclically keeps the population
+        # balanced regardless of cluster size.
+        self._order = list(range(len(self.profiles)))
+        self._rng.shuffle(self._order)
+
+    def profile_for(self, node_index: int) -> NodeProfile:
+        """Profile assigned to the node with the given index."""
+        if node_index < 0:
+            raise ValueError("node_index must be non-negative")
+        return self.profiles[self._order[node_index % len(self._order)]]
+
+    def homogeneous(self) -> bool:
+        return len(self.profiles) == 1

@@ -1,0 +1,32 @@
+"""Rack topology used by locality-aware replica placement (§IV-C-5-b).
+
+The placement rules only need a coarse distance: same node < same rack <
+different rack.  Racks are assigned round-robin over a configurable rack
+count, mirroring a row of adjacent racks connected by 10 GbE.
+"""
+
+from __future__ import annotations
+
+
+class Topology:
+    """Assigns nodes to racks and answers distance queries."""
+
+    SAME_NODE = 0
+    SAME_RACK = 1
+    CROSS_RACK = 2
+
+    def __init__(self, num_racks: int = 4) -> None:
+        if num_racks <= 0:
+            raise ValueError("num_racks must be positive")
+        self.num_racks = num_racks
+
+    def rack_for(self, node_index: int) -> str:
+        return f"rack-{node_index % self.num_racks}"
+
+    def distance(self, rack_a: str, node_a: str, rack_b: str, node_b: str) -> int:
+        """Coarse distance between two placements."""
+        if node_a == node_b:
+            return self.SAME_NODE
+        if rack_a == rack_b:
+            return self.SAME_RACK
+        return self.CROSS_RACK

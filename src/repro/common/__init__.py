@@ -1,0 +1,43 @@
+"""Shared vocabulary: enums, units, and exception types used across layers."""
+
+from repro.common.errors import (
+    CanaryError,
+    ConcurrencyLimitError,
+    PlacementError,
+    ReproError,
+    RequestValidationError,
+    ResourceLimitError,
+    StorageCapacityError,
+)
+from repro.common.types import (
+    ContainerState,
+    FailureKind,
+    FunctionState,
+    JobState,
+    RecoveryStrategyName,
+    ReplicationStrategyName,
+    RuntimeKind,
+)
+from repro.common.units import GiB, KiB, MiB, gb, mb
+
+__all__ = [
+    "CanaryError",
+    "ConcurrencyLimitError",
+    "ContainerState",
+    "FailureKind",
+    "FunctionState",
+    "GiB",
+    "JobState",
+    "KiB",
+    "MiB",
+    "PlacementError",
+    "RecoveryStrategyName",
+    "ReplicationStrategyName",
+    "ReproError",
+    "RequestValidationError",
+    "ResourceLimitError",
+    "RuntimeKind",
+    "StorageCapacityError",
+    "gb",
+    "mb",
+]

@@ -1,0 +1,22 @@
+"""Byte-size units.
+
+All sizes in the reproduction are plain ``float`` byte counts; these helpers
+keep call sites readable (``mb(98)`` for ResNet50 weights, ``gb(1)`` for a
+compression input file).
+"""
+
+from __future__ import annotations
+
+KiB: float = 1024.0
+MiB: float = 1024.0 * KiB
+GiB: float = 1024.0 * MiB
+
+
+def mb(n: float) -> float:
+    """*n* mebibytes expressed in bytes."""
+    return n * MiB
+
+
+def gb(n: float) -> float:
+    """*n* gibibytes expressed in bytes."""
+    return n * GiB

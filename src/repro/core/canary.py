@@ -1,0 +1,377 @@
+"""CanaryPlatform: assembles the full simulated platform.
+
+One :class:`CanaryPlatform` instance = one experiment run: a seeded engine,
+a cluster, the FaaS controller, storage, the Canary modules, a recovery
+strategy, and a failure injector.  ``submit_job`` + ``run`` + ``summary``
+is the whole lifecycle the experiment harness drives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.checkpoint.module import CheckpointingModule
+from repro.checkpoint.policy import CheckpointPolicy
+from repro.cluster.cluster import Cluster
+from repro.cluster.heterogeneity import HeterogeneityModel
+from repro.common.errors import RequestValidationError
+from repro.common.types import (
+    JobState,
+    RecoveryStrategyName,
+    ReplicationStrategyName,
+)
+from repro.core.config import PlatformConfig
+from repro.core.context import PlatformContext
+from repro.core.database import CanaryDatabase
+from repro.core.execution import FunctionExecution
+from repro.core.ids import IdGenerator
+from repro.core.jobs import Job, JobRequest
+from repro.core.validator import RequestValidator, ValidationResult
+from repro.cost.pricing import (
+    IBM_CLOUD_FUNCTIONS_PRICING,
+    PricingModel,
+    compute_cost,
+)
+from repro.faas.container import ContainerPurpose
+from repro.faas.controller import FaaSController
+from repro.faas.limits import PlatformLimits
+from repro.faas.runtimes import RuntimeRegistry
+from repro.faults.injector import FailureInjector
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import RunSummary, summarize
+from repro.replication.estimator import FailureRateEstimator
+from repro.replication.module import ReplicationModule
+from repro.replication.placement import ReplicaPlacer
+from repro.replication.strategies import make_replication_strategy
+from repro.runtime_manager.manager import RuntimeManagerModule
+from repro.sim.engine import Simulator
+from repro.storage.kvstore import KeyValueStore
+from repro.storage.router import CheckpointStorageRouter
+from repro.storage.tiers import TierRegistry
+from repro.strategies.factory import make_strategy
+
+
+class CanaryPlatform:
+    """A fully wired simulated FaaS platform with a recovery strategy.
+
+    Args:
+        seed: Experiment seed (pins failures, jitter, placement ties).
+        num_nodes: Cluster size.
+        strategy: Recovery strategy name (see §V scenarios).
+        replication_strategy: DR/AR/LR replica-count policy.
+        error_rate: Fraction of each job's functions that fail.
+        node_failure_count / node_failure_window: Node-level failures.
+        checkpoint_policy: Override the default checkpoint policy.
+        config: Platform constants.
+        limits: Account/platform quotas.
+        pricing: Billing model for cost summaries.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        num_nodes: int = 16,
+        strategy: RecoveryStrategyName | str = RecoveryStrategyName.CANARY,
+        replication_strategy: ReplicationStrategyName | str = (
+            ReplicationStrategyName.DYNAMIC
+        ),
+        error_rate: float = 0.0,
+        refailure_rate: Optional[float] = None,
+        node_failure_count: int = 0,
+        node_failure_window: tuple[float, float] = (0.0, 0.0),
+        node_failure_precursors: int = 0,
+        enable_prediction: bool = False,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+        checkpoint_flush_lag_s: float = 0.0,
+        config: Optional[PlatformConfig] = None,
+        limits: Optional[PlatformLimits] = None,
+        pricing: PricingModel = IBM_CLOUD_FUNCTIONS_PRICING,
+        start_rate_limit: Optional[float] = None,
+        reuse_containers: bool = False,
+        heterogeneity_profiles: Optional[tuple] = None,
+    ) -> None:
+        self.seed = seed
+        self.config = config or PlatformConfig()
+        self.pricing = pricing
+        self.sim = Simulator(seed=seed)
+        heterogeneity_kwargs = (
+            {"profiles": heterogeneity_profiles}
+            if heterogeneity_profiles is not None
+            else {}
+        )
+        self.cluster = Cluster(
+            num_nodes,
+            heterogeneity=HeterogeneityModel(
+                rng=self.sim.rng.stream("heterogeneity"),
+                **heterogeneity_kwargs,
+            ),
+        )
+        self.database = CanaryDatabase()
+        self._register_workers()
+        self.ids = IdGenerator()
+        self.controller = FaaSController(
+            self.sim,
+            self.cluster,
+            RuntimeRegistry(),
+            limits or PlatformLimits(),
+            contention_gamma=self.config.contention_gamma,
+            start_rate_limit=start_rate_limit,
+            reuse_containers=reuse_containers,
+        )
+        self.kv = KeyValueStore()
+        self.tiers = TierRegistry()
+        self.router = CheckpointStorageRouter(
+            self.kv,
+            self.tiers,
+            require_shared_spill=self.config.require_shared_spill,
+        )
+        self.checkpointer = CheckpointingModule(
+            self.router,
+            self.database,
+            self.ids,
+            policy=checkpoint_policy or CheckpointPolicy(),
+            flush_lag_s=checkpoint_flush_lag_s,
+        )
+        self.runtime_manager = RuntimeManagerModule(self.database)
+        self.metrics = MetricsCollector()
+        # Recovery attempts re-fail at the error rate by default: the error
+        # process does not pause just because a function is on its second
+        # try (this is what makes retry diverge at high error rates, Fig. 7).
+        self.injector = FailureInjector(
+            self.sim,
+            error_rate=error_rate,
+            refailure_rate=(
+                refailure_rate if refailure_rate is not None else error_rate
+            ),
+            node_failure_count=node_failure_count,
+            node_failure_window=node_failure_window,
+            node_failure_precursors=node_failure_precursors,
+        )
+        self.validator = RequestValidator(self.controller.limits)
+        self.ctx = PlatformContext(
+            sim=self.sim,
+            cluster=self.cluster,
+            controller=self.controller,
+            database=self.database,
+            ids=self.ids,
+            checkpointer=self.checkpointer,
+            runtime_manager=self.runtime_manager,
+            metrics=self.metrics,
+            injector=self.injector,
+            config=self.config,
+        )
+        self.strategy = make_strategy(strategy, self.ctx)
+        self.ctx.strategy = self.strategy
+        if self.strategy.replication_enabled:
+            self.ctx.replication = ReplicationModule(
+                self.sim,
+                self.controller,
+                self.runtime_manager,
+                ReplicaPlacer(self.cluster),
+                make_replication_strategy(replication_strategy),
+                self.ids,
+                estimator=FailureRateEstimator(
+                    prior_rate=self.config.failure_rate_prior
+                ),
+            )
+        self.replication = self.ctx.replication
+        self.jobs: dict[str, Job] = {}
+        self._pending_jobs: list[tuple[JobRequest, Optional[object]]] = []
+        self._job_callbacks: dict[str, object] = {}
+        self._node_failures_scheduled = False
+        self.controller.on_container_loss(self._dispatch_function_loss)
+        self.cluster.on_node_failure(
+            lambda node, lost: self.checkpointer.on_node_failure(
+                node.node_id, now=self.sim.now
+            )
+        )
+        # Failure prediction & proactive mitigation (§VII future work).
+        self.predictor = None
+        self.mitigator = None
+        if enable_prediction:
+            from repro.prediction.mitigator import ProactiveMitigator
+            from repro.prediction.predictor import NodeHealthPredictor
+
+            self.predictor = NodeHealthPredictor(self.cluster)
+            self.mitigator = ProactiveMitigator(self, self.predictor)
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _register_workers(self) -> None:
+        for node in self.cluster.nodes:
+            self.database.worker_info.insert(
+                {
+                    "worker_id": node.node_id,
+                    "role": "invoker",
+                    "cpu_model": node.profile.name,
+                    "memory_bytes": node.profile.memory_bytes,
+                    "container_slots": node.profile.container_slots,
+                    "rack": node.rack,
+                    "alive": True,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def submit_job(self, request: JobRequest, *, on_complete=None) -> Optional[Job]:
+        """Validate and (if possible) admit a job.
+
+        Returns the admitted :class:`Job`, or ``None`` when the job was
+        queued for later admission.  ``on_complete(job)`` fires once every
+        function of the job completes (used by workflow triggers).  Raises
+        :class:`~repro.common.errors.RequestValidationError` on hard limit
+        violations.
+        """
+        report = self.validator.validate(
+            request, self.controller.active_function_count()
+        )
+        if report.result is ValidationResult.REJECT:
+            raise RequestValidationError(report.reason)
+        if report.result is ValidationResult.QUEUE:
+            self._pending_jobs.append((request, on_complete))
+            return None
+        return self._admit(request, on_complete)
+
+    def _admit(self, request: JobRequest, on_complete=None) -> Job:
+        job = Job(
+            job_id=self.ids.job_id(),
+            request=request,
+            state=JobState.RUNNING,
+            submitted_at=self.sim.now,
+            started_at=self.sim.now,
+        )
+        self.jobs[job.job_id] = job
+        if on_complete is not None:
+            self._job_callbacks[job.job_id] = on_complete
+        self.database.job_info.insert(
+            {
+                "job_id": job.job_id,
+                "workload": request.workload.name,
+                "num_functions": request.num_functions,
+                "runtime": request.workload.runtime.value,
+                "checkpoint_interval": request.checkpoint_interval,
+                "replication_strategy": request.replication_strategy.value,
+                "state": job.state.value,
+                "submitted_at": job.submitted_at,
+                "completed_at": None,
+            }
+        )
+        for index in range(request.num_functions):
+            execution = FunctionExecution(self.ctx, job, index)
+            execution.on_complete(self._function_completed)
+            job.executions.append(execution)
+        self.injector.register_job(job)
+        if self.replication is not None:
+            self.replication.register_job(job)
+        self.strategy.on_job_start(job)
+        for execution in job.executions:
+            if request.checkpoint_interval != 1:
+                self.checkpointer.set_interval(
+                    execution.function_id, request.checkpoint_interval
+                )
+            execution.submit()
+        if self.mitigator is not None:
+            self.mitigator.start()
+        return job
+
+    def _function_completed(self, execution: FunctionExecution) -> None:
+        job = execution.job
+        if job.done and job.completed_at is None:
+            job.completed_at = self.sim.now
+            job.state = JobState.COMPLETED
+            self.database.job_info.update(
+                job.job_id,
+                state=job.state.value,
+                completed_at=job.completed_at,
+            )
+            if self.replication is not None:
+                self.replication.complete_job(job)
+            self.strategy.on_job_complete(job)
+            callback = self._job_callbacks.pop(job.job_id, None)
+            if callback is not None:
+                callback(job)
+        self._drain_pending_jobs()
+
+    def _drain_pending_jobs(self) -> None:
+        while self._pending_jobs:
+            request, on_complete = self._pending_jobs[0]
+            report = self.validator.validate(
+                request, self.controller.active_function_count()
+            )
+            if report.result is not ValidationResult.ADMIT:
+                return
+            self._pending_jobs.pop(0)
+            self._admit(request, on_complete)
+
+    # ------------------------------------------------------------------
+    # Loss dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_function_loss(self, container, reason: str) -> None:
+        if container.purpose != ContainerPurpose.FUNCTION:
+            return
+        execution = self.ctx.container_owners.get(container.container_id)
+        if execution is not None:
+            execution.handle_container_loss(container, reason)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation to completion (or *until*)."""
+        if (
+            not self._node_failures_scheduled
+            and self.injector.node_failure_count > 0
+        ):
+            self.injector.schedule_node_failures(
+                self.cluster, controller=self.controller
+            )
+            self._node_failures_scheduled = True
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def invokers_list(self):
+        """The per-node invokers (diagnostics: cold-start counters)."""
+        return list(self.controller.invokers.values())
+
+    def makespan(self) -> float:
+        """Makespan across all jobs (first submission → last completion)."""
+        if not self.jobs:
+            return 0.0
+        start = min(j.submitted_at for j in self.jobs.values())
+        ends = [
+            j.completed_at for j in self.jobs.values() if j.completed_at is not None
+        ]
+        if not ends:
+            return 0.0
+        return max(ends) - start
+
+    def summary(self) -> RunSummary:
+        """Aggregate the run into one :class:`RunSummary`."""
+        jobs = list(self.jobs.values())
+        workload = jobs[0].workload.name if jobs else ""
+        num_functions = sum(j.num_functions for j in jobs)
+        cost = compute_cost(
+            self.controller.all_containers(), self.sim.now, self.pricing
+        )
+        return summarize(
+            strategy=self.strategy.name.value,
+            workload=workload,
+            error_rate=self.injector.error_rate,
+            num_functions=num_functions,
+            num_nodes=len(self.cluster),
+            makespan_s=self.makespan(),
+            metrics=self.metrics,
+            cost=cost,
+            checkpoints_taken=self.checkpointer.checkpoints_taken,
+            replicas_launched=(
+                self.replication.replicas_launched
+                if self.replication is not None
+                else 0
+            ),
+            seed=self.seed,
+        )

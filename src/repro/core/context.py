@@ -1,0 +1,55 @@
+"""PlatformContext: the wiring shared by executions and strategies.
+
+One context object holds every live subsystem of a simulated platform run.
+It exists so the execution state machine and the recovery strategies can be
+written against a single seam instead of seven constructor parameters each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.checkpoint.module import CheckpointingModule
+from repro.cluster.cluster import Cluster
+from repro.core.config import PlatformConfig
+from repro.core.database import CanaryDatabase
+from repro.core.ids import IdGenerator
+from repro.faas.controller import FaaSController
+from repro.faults.injector import FailureInjector
+from repro.metrics.collector import MetricsCollector
+from repro.runtime_manager.manager import RuntimeManagerModule
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.execution import FunctionExecution
+    from repro.replication.module import ReplicationModule
+    from repro.strategies.base import RecoveryStrategy
+
+
+@dataclass
+class PlatformContext:
+    """Everything a running platform consists of."""
+
+    sim: Simulator
+    cluster: Cluster
+    controller: FaaSController
+    database: CanaryDatabase
+    ids: IdGenerator
+    checkpointer: CheckpointingModule
+    runtime_manager: RuntimeManagerModule
+    metrics: MetricsCollector
+    injector: FailureInjector
+    config: PlatformConfig
+    replication: Optional["ReplicationModule"] = None
+    strategy: Optional["RecoveryStrategy"] = None
+    #: container_id -> owning execution, for dispatching loss events of
+    #: function-purpose containers (replicas are handled by the Replication
+    #: Module, standbys by the active-standby strategy).
+    container_owners: dict[str, "FunctionExecution"] = field(default_factory=dict)
+
+    def register_owner(self, container_id: str, execution: "FunctionExecution") -> None:
+        self.container_owners[container_id] = execution
+
+    def release_owner(self, container_id: str) -> None:
+        self.container_owners.pop(container_id, None)

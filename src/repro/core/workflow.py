@@ -1,0 +1,129 @@
+"""Staged workflows: chained stateful functions with triggers.
+
+The paper's motivating applications are *workflows*: "the overall execution
+workflow is divided into several loosely-coupled independent small functions
+… each function starts its execution using triggers that are invoked after
+the successful completion of the previous function" (§I) — e.g. MapReduce
+(reducers launch after mappers) and DL pipelines (pre-process → train →
+aggregate → infer).
+
+A :class:`WorkflowRequest` is an ordered list of stages; the platform
+submits stage *k+1*'s job when every function of stage *k* has completed.
+Failure recovery within a stage is whatever the platform's strategy does;
+the trigger only fires on *successful* stage completion, so a workflow is
+exactly-once end-to-end whenever each stage is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.jobs import Job, JobRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.canary import CanaryPlatform
+
+
+@dataclass(frozen=True)
+class WorkflowStage:
+    """One stage of a workflow: a named job request."""
+
+    name: str
+    request: JobRequest
+
+
+@dataclass(frozen=True)
+class WorkflowRequest:
+    """An ordered chain of stages connected by completion triggers."""
+
+    name: str
+    stages: tuple[WorkflowStage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a workflow needs at least one stage")
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+
+
+@dataclass
+class WorkflowRun:
+    """Live state of one workflow execution."""
+
+    request: WorkflowRequest
+    jobs: list[Job] = field(default_factory=list)
+    current_stage: int = 0
+    started_at: float = 0.0
+    completed_at: Optional[float] = None
+    stage_boundaries: list[float] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def stage_names(self) -> list[str]:
+        return [s.name for s in self.request.stages]
+
+    def makespan(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def stage_durations(self) -> dict[str, float]:
+        """Per-stage wall time (trigger-to-trigger)."""
+        if not self.done:
+            raise RuntimeError("workflow still running")
+        durations: dict[str, float] = {}
+        previous = self.started_at
+        for stage, boundary in zip(self.request.stages, self.stage_boundaries):
+            durations[stage.name] = boundary - previous
+            previous = boundary
+        return durations
+
+
+class WorkflowCoordinator:
+    """Submits workflow stages and wires the completion triggers.
+
+    One coordinator per platform; workflows may run concurrently.  The
+    trigger path rides the platform's per-job completion callback, so it
+    composes with queued admission (a stage whose job is queued by the
+    Request Validator simply starts later).
+    """
+
+    def __init__(self, platform: "CanaryPlatform") -> None:
+        self.platform = platform
+        self.runs: list[WorkflowRun] = []
+
+    def submit(self, request: WorkflowRequest) -> WorkflowRun:
+        run = WorkflowRun(request=request, started_at=self.platform.sim.now)
+        self.runs.append(run)
+        self._launch_stage(run)
+        return run
+
+    # ------------------------------------------------------------------
+    def _launch_stage(self, run: WorkflowRun) -> None:
+        stage = run.request.stages[run.current_stage]
+        job = self.platform.submit_job(
+            stage.request,
+            on_complete=lambda j: self._stage_done(run, j),
+        )
+        if job is not None:
+            run.jobs.append(job)
+        else:
+            # Queued by the validator; the platform will attach the
+            # completion callback when it admits the job.
+            pass
+
+    def _stage_done(self, run: WorkflowRun, job: Job) -> None:
+        if job not in run.jobs:
+            run.jobs.append(job)
+        now = self.platform.sim.now
+        run.stage_boundaries.append(now)
+        run.current_stage += 1
+        if run.current_stage >= len(run.request.stages):
+            run.completed_at = now
+            return
+        self._launch_stage(run)

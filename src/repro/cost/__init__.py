@@ -1,0 +1,17 @@
+"""Dollar-cost model (§V-D-4)."""
+
+from repro.cost.pricing import (
+    AWS_LAMBDA_PRICING,
+    IBM_CLOUD_FUNCTIONS_PRICING,
+    CostBreakdown,
+    PricingModel,
+    compute_cost,
+)
+
+__all__ = [
+    "AWS_LAMBDA_PRICING",
+    "CostBreakdown",
+    "IBM_CLOUD_FUNCTIONS_PRICING",
+    "PricingModel",
+    "compute_cost",
+]

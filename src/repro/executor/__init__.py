@@ -1,0 +1,26 @@
+"""Local real-execution backend.
+
+Runs *actual Python stateful functions* through the Canary checkpoint API:
+user code registers states and saves real (pickled) payloads; a fault plan
+kills functions at chosen state boundaries; the executor recovers them with
+either the retry semantics (from scratch, checkpoints discarded) or the
+Canary semantics (restore the latest checkpoint and resume).
+
+This is the backend behind the examples and the end-to-end integration
+tests — it demonstrates that the recovery logic preserves results on real
+computations (zlib compression, numpy training loops, BFS), not just on
+simulated timings.
+"""
+
+from repro.executor.context import CheckpointContext, FunctionKilled
+from repro.executor.local import FaultPlan, FunctionResult, LocalExecutor
+from repro.executor.store import RealCheckpointStore
+
+__all__ = [
+    "CheckpointContext",
+    "FaultPlan",
+    "FunctionKilled",
+    "FunctionResult",
+    "LocalExecutor",
+    "RealCheckpointStore",
+]

@@ -1,0 +1,59 @@
+"""Random fault plans for the local executor.
+
+Mirrors the simulator's error-rate semantics on the real backend: a given
+fraction of a job's functions is selected as victims, each killed at a
+random state boundary.  Deterministic per seed, so the same plan can be
+replayed against the canary and retry strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.executor.local import FaultPlan
+
+
+def random_fault_plan(
+    function_states: Mapping[str, int],
+    *,
+    error_rate: float,
+    seed: int = 0,
+    max_kills_per_function: int = 1,
+) -> FaultPlan:
+    """Sample a kill schedule over a job's functions.
+
+    Args:
+        function_states: ``function_id -> number of states`` (kill points
+            are the state boundaries ``0..n_states-1``).
+        error_rate: Fraction of functions that fail (≥1 victim when > 0,
+            like the simulator).
+        seed: Plan seed.
+        max_kills_per_function: Victims may be killed several times (each
+            at a distinct, increasing state).
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError("error_rate must be within [0, 1]")
+    if max_kills_per_function < 1:
+        raise ValueError("max_kills_per_function must be at least 1")
+    for fid, n_states in function_states.items():
+        if n_states < 1:
+            raise ValueError(f"{fid}: n_states must be at least 1")
+
+    function_ids = sorted(function_states)
+    if error_rate <= 0 or not function_ids:
+        return FaultPlan()
+    rng = np.random.default_rng(seed)
+    count = int(round(error_rate * len(function_ids)))
+    count = min(max(count, 1), len(function_ids))
+    picks = rng.choice(len(function_ids), size=count, replace=False)
+    kills: dict[str, list[int]] = {}
+    for index in sorted(int(i) for i in picks):
+        fid = function_ids[index]
+        n_states = function_states[fid]
+        n_kills = int(rng.integers(1, max_kills_per_function + 1))
+        n_kills = min(n_kills, n_states)
+        states = rng.choice(n_states, size=n_kills, replace=False)
+        kills[fid] = sorted(int(s) for s in states)
+    return FaultPlan(kills)

@@ -1,0 +1,159 @@
+"""The local executor: real functions, real kills, real recovery.
+
+``LocalExecutor.run_function`` drives one stateful function through as many
+attempts as it takes, applying either the retry semantics (discard
+checkpoints, restart from scratch) or the Canary semantics (keep
+checkpoints; the next attempt restores and resumes).  ``run_job`` fans a
+batch of functions across a thread pool — functions are independent, like
+FaaS invocations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.units import MiB
+from repro.executor.context import CheckpointContext, FunctionKilled
+from repro.executor.store import RealCheckpointStore
+
+#: A stateful function: receives the checkpoint context, returns its result.
+StatefulFunction = Callable[[CheckpointContext], Any]
+
+
+class FaultPlan:
+    """Which (function, state) boundaries to kill, each at most once.
+
+    Thread-safe: attempts across the pool consult it concurrently.
+    """
+
+    def __init__(self, kills: Optional[dict[str, list[int]]] = None) -> None:
+        self._pending: dict[str, list[int]] = {
+            fid: sorted(states) for fid, states in (kills or {}).items()
+        }
+        self._lock = threading.Lock()
+        self.kills_fired = 0
+
+    def should_kill(self, function_id: str, state_index: int) -> bool:
+        with self._lock:
+            states = self._pending.get(function_id)
+            if states and states[0] == state_index:
+                states.pop(0)
+                self.kills_fired += 1
+                return True
+            return False
+
+
+@dataclass
+class FunctionResult:
+    """Outcome of one function's (possibly multi-attempt) execution."""
+
+    function_id: str
+    value: Any
+    attempts: int
+    kills: int
+    restored_states: list[Optional[int]] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def recovered_via_checkpoint(self) -> bool:
+        return any(s is not None for s in self.restored_states)
+
+
+class LocalExecutor:
+    """Runs stateful functions with fault injection and recovery.
+
+    Args:
+        strategy: ``"canary"`` (checkpoint restore) or ``"retry"``
+            (restart from scratch).
+        fault_plan: Kill schedule; default none.
+        retention: Latest-n checkpoints kept per function.
+        db_limit_bytes: Per-key limit of the backing KV store.
+        max_attempts: Safety bound on recovery loops.
+        max_workers: Thread-pool width for ``run_job``.
+    """
+
+    def __init__(
+        self,
+        *,
+        strategy: str = "canary",
+        fault_plan: Optional[FaultPlan] = None,
+        retention: int = 3,
+        db_limit_bytes: float = 8 * MiB,
+        max_attempts: int = 50,
+        max_workers: int = 4,
+    ) -> None:
+        if strategy not in ("canary", "retry"):
+            raise ValueError(
+                f"strategy must be 'canary' or 'retry', got {strategy!r}"
+            )
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.strategy = strategy
+        self.fault_plan = fault_plan or FaultPlan()
+        self.store = RealCheckpointStore(
+            retention=retention, db_limit_bytes=db_limit_bytes
+        )
+        self.max_attempts = max_attempts
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def run_function(
+        self, function_id: str, fn: StatefulFunction
+    ) -> FunctionResult:
+        """Run *fn* to completion, recovering from injected kills."""
+        start = time.perf_counter()
+        attempts = 0
+        kills = 0
+        restored_states: list[Optional[int]] = []
+        while True:
+            attempts += 1
+            if attempts > self.max_attempts:
+                raise RuntimeError(
+                    f"function {function_id} exceeded "
+                    f"{self.max_attempts} attempts"
+                )
+            ctx = CheckpointContext(
+                function_id,
+                self.store,
+                kill_hook=self.fault_plan.should_kill,
+                checkpoints_enabled=self.strategy == "canary",
+            )
+            try:
+                value = fn(ctx)
+            except FunctionKilled:
+                kills += 1
+                restored_states.append(ctx.restored_from)
+                if self.strategy == "retry":
+                    # Retry semantics: nothing survives the container.
+                    self.store.drop(function_id)
+                continue
+            restored_states.append(ctx.restored_from)
+            self.store.drop(function_id)  # function done; free checkpoints
+            return FunctionResult(
+                function_id=function_id,
+                value=value,
+                attempts=attempts,
+                kills=kills,
+                restored_states=restored_states,
+                wall_time_s=time.perf_counter() - start,
+            )
+
+    def run_job(
+        self, functions: dict[str, StatefulFunction]
+    ) -> dict[str, FunctionResult]:
+        """Run independent functions across a thread pool."""
+        if not functions:
+            return {}
+        results: dict[str, FunctionResult] = {}
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                fid: pool.submit(self.run_function, fid, fn)
+                for fid, fn in functions.items()
+            }
+            for fid, future in futures.items():
+                results[fid] = future.result()
+        return results

@@ -1,0 +1,96 @@
+"""Checkpoint store for the real executor: pickled payloads, latest-n.
+
+Reuses the Ignite-like :class:`~repro.storage.kvstore.KeyValueStore` with
+*actual* serialized payloads, so sizes and the per-key ``db_limit`` are real.
+Payloads above the limit are kept in a side "spill" dict standing in for the
+fast storage tier, with only the location record in the KV store — the same
+split Algorithm 1 performs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from repro.common.units import MiB
+from repro.storage.kvstore import KeyValueStore
+
+
+class RealCheckpointStore:
+    """Thread-safe latest-n checkpoint store over real payload bytes."""
+
+    def __init__(
+        self,
+        *,
+        retention: int = 3,
+        db_limit_bytes: float = 8 * MiB,
+    ) -> None:
+        if retention < 1:
+            raise ValueError("retention must be at least 1")
+        self.retention = retention
+        self.kv = KeyValueStore(db_limit_bytes=db_limit_bytes)
+        self._spill: dict[str, bytes] = {}
+        self._chains: dict[str, deque[tuple[int, str]]] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self.saves = 0
+        self.restores = 0
+        self.spilled = 0
+
+    # ------------------------------------------------------------------
+    def save(self, function_id: str, state_index: int, payload: Any) -> int:
+        """Persist a checkpoint; returns the serialized size in bytes."""
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._counter += 1
+            key = f"ckpt/{function_id}/{self._counter:08d}"
+            if self.kv.fits(len(blob)):
+                self.kv.put(key, blob, size_bytes=len(blob))
+            else:
+                self._spill[key] = blob
+                self.kv.put(
+                    key,
+                    {"ckpt_name": key, "ckpt_loc": "spill"},
+                    size_bytes=256.0,
+                )
+                self.spilled += 1
+            chain = self._chains.setdefault(function_id, deque())
+            chain.append((state_index, key))
+            while len(chain) > self.retention:
+                _, old_key = chain.popleft()
+                self.kv.delete(old_key)
+                self._spill.pop(old_key, None)
+            self.saves += 1
+        return len(blob)
+
+    def restore(self, function_id: str) -> Optional[tuple[int, Any]]:
+        """Latest checkpoint as ``(state_index, payload)``, or None."""
+        with self._lock:
+            chain = self._chains.get(function_id)
+            if not chain:
+                return None
+            state_index, key = chain[-1]
+            blob = self._spill.get(key)
+            if blob is None:
+                entry = self.kv.get(key)
+                if entry is None:
+                    return None
+                blob = entry.value
+            self.restores += 1
+        return state_index, pickle.loads(blob)
+
+    def drop(self, function_id: str) -> None:
+        """Discard all checkpoints of a function (retry semantics / cleanup)."""
+        with self._lock:
+            chain = self._chains.pop(function_id, None)
+            if not chain:
+                return
+            for _, key in chain:
+                self.kv.delete(key)
+                self._spill.pop(key, None)
+
+    def chain_length(self, function_id: str) -> int:
+        with self._lock:
+            return len(self._chains.get(function_id, ()))

@@ -1,0 +1,36 @@
+"""Experiment harness: one runner per paper figure (Fig. 4–12).
+
+Each ``figXX`` module exposes ``run(...) -> FigureResult`` which regenerates
+the series of the corresponding paper figure, and the benchmarks under
+``benchmarks/`` print them.  ``EXPERIMENTS.md`` records paper-vs-measured.
+"""
+
+from repro.experiments.charts import bar_chart, comparison_chart, series_chart
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.io import read_csv, read_json, write_csv, write_json
+from repro.experiments.report import FigureResult, format_table, pct_change
+from repro.experiments.runner import (
+    mean_of,
+    run_repeated,
+    run_scenario,
+)
+from repro.experiments.validation import scorecard, validate_all
+
+__all__ = [
+    "FigureResult",
+    "ScenarioConfig",
+    "bar_chart",
+    "comparison_chart",
+    "format_table",
+    "mean_of",
+    "pct_change",
+    "read_csv",
+    "read_json",
+    "run_repeated",
+    "run_scenario",
+    "scorecard",
+    "series_chart",
+    "validate_all",
+    "write_csv",
+    "write_json",
+]

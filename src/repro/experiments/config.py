@@ -1,0 +1,58 @@
+"""Scenario configuration: one fully specified simulated run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.checkpoint.policy import CheckpointPolicy
+from repro.common.types import RecoveryStrategyName, ReplicationStrategyName
+from repro.core.config import PlatformConfig
+
+#: Error-rate sweep used throughout §V ("vary the error rate from 1% to 50%").
+ERROR_RATE_SWEEP: tuple[float, ...] = (0.01, 0.05, 0.10, 0.15, 0.25, 0.50)
+
+#: The paper averages each experiment over 10 runs.
+DEFAULT_SEEDS: tuple[int, ...] = tuple(range(10))
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to build and run one :class:`CanaryPlatform`.
+
+    ``jobs`` optionally splits the invocations into several equal jobs
+    (batch-job experiments, Fig. 12); by default one job carries all
+    functions.
+    """
+
+    workload: str
+    strategy: RecoveryStrategyName | str = RecoveryStrategyName.CANARY
+    error_rate: float = 0.0
+    num_functions: int = 100
+    num_nodes: int = 16
+    jobs: int = 1
+    replication_strategy: ReplicationStrategyName | str = (
+        ReplicationStrategyName.DYNAMIC
+    )
+    checkpoint_interval: int = 1
+    checkpoint_policy: Optional[CheckpointPolicy] = None
+    node_failure_count: int = 0
+    node_failure_window: tuple[float, float] = (0.0, 0.0)
+    refailure_rate: Optional[float] = None
+    platform_config: Optional[PlatformConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.num_functions <= 0:
+            raise ValueError("num_functions must be positive")
+        if self.jobs <= 0:
+            raise ValueError("jobs must be positive")
+        if self.num_functions % self.jobs != 0:
+            raise ValueError("num_functions must divide evenly into jobs")
+
+    def with_(self, **changes) -> "ScenarioConfig":
+        """Functional update (thin wrapper over dataclasses.replace)."""
+        return replace(self, **changes)
+
+    @property
+    def functions_per_job(self) -> int:
+        return self.num_functions // self.jobs

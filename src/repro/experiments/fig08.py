@@ -1,0 +1,80 @@
+"""Fig. 8 — dollar cost and execution time of the DL workload.
+
+IBM Cloud Functions pricing ($0.000017/GB-s).  Paper findings: cost grows
+with the error rate for both scenarios; Canary is up to 12 % cheaper than
+retry (gap widens with the error rate), costs +8 % on average over ideal,
+and executes 43 % faster than retry on average.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.config import DEFAULT_SEEDS, ERROR_RATE_SWEEP, ScenarioConfig
+from repro.experiments.report import FigureResult, pct_change, pct_reduction
+from repro.experiments.runner import mean_of, run_repeated
+
+STRATEGIES = ("ideal", "retry", "canary")
+WORKLOAD = "dl-training"
+
+
+def run(
+    *,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    error_rates: Sequence[float] = ERROR_RATE_SWEEP,
+    num_functions: int = 100,
+    workload: str = WORKLOAD,
+) -> FigureResult:
+    rows: list[dict] = []
+    for strategy in STRATEGIES:
+        rates = (0.0,) if strategy == "ideal" else error_rates
+        for error_rate in rates:
+            summaries = run_repeated(
+                ScenarioConfig(
+                    workload=workload,
+                    strategy=strategy,
+                    error_rate=error_rate,
+                    num_functions=num_functions,
+                ),
+                seeds,
+            )
+            row = mean_of(summaries)
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "error_rate": error_rate,
+                    "cost_usd": row["cost_total"],
+                    "cost_replica_usd": row["cost_replica"],
+                    "makespan_s": row["makespan_s"],
+                }
+            )
+    result = FigureResult(
+        figure="fig8",
+        title=f"Cost and execution time, {workload}",
+        columns=("strategy", "error_rate", "cost_usd", "cost_replica_usd",
+                 "makespan_s"),
+        rows=rows,
+    )
+    ideal_cost = result.value("cost_usd", strategy="ideal", error_rate=0.0)
+    cost_savings, time_savings, ideal_overheads = [], [], []
+    for error_rate in error_rates:
+        retry_cost = result.value("cost_usd", strategy="retry", error_rate=error_rate)
+        canary_cost = result.value("cost_usd", strategy="canary", error_rate=error_rate)
+        retry_t = result.value("makespan_s", strategy="retry", error_rate=error_rate)
+        canary_t = result.value("makespan_s", strategy="canary", error_rate=error_rate)
+        cost_savings.append(pct_reduction(canary_cost, retry_cost))
+        time_savings.append(pct_reduction(canary_t, retry_t))
+        ideal_overheads.append(pct_change(canary_cost, ideal_cost))
+    result.notes.append(
+        f"Canary cost vs retry: {max(cost_savings):.0f}% cheaper at best "
+        f"(paper: up to 12%), {sum(cost_savings)/len(cost_savings):.0f}% on average"
+    )
+    result.notes.append(
+        f"Canary cost overhead vs ideal: "
+        f"{sum(ideal_overheads)/len(ideal_overheads):.0f}% on average (paper: +8%)"
+    )
+    result.notes.append(
+        f"Canary execution time vs retry: "
+        f"{sum(time_savings)/len(time_savings):.0f}% lower on average (paper: 43%)"
+    )
+    return result

@@ -1,0 +1,60 @@
+"""Persistence of figure results: CSV and JSON export/import.
+
+Experiment runs are cheap but not free; exporting lets the analysis and
+plotting live outside the simulation process, and EXPERIMENTS.md's numbers
+can be regenerated from the archived artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.report import FigureResult
+
+
+def write_json(result: FigureResult, path: Union[str, Path]) -> Path:
+    """Serialize a FigureResult (rows + notes) to JSON."""
+    path = Path(path)
+    payload = {
+        "figure": result.figure,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": result.rows,
+        "notes": list(result.notes),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def read_json(path: Union[str, Path]) -> FigureResult:
+    """Load a FigureResult previously written by :func:`write_json`."""
+    payload = json.loads(Path(path).read_text())
+    return FigureResult(
+        figure=payload["figure"],
+        title=payload["title"],
+        columns=tuple(payload["columns"]),
+        rows=list(payload["rows"]),
+        notes=list(payload["notes"]),
+    )
+
+
+def write_csv(result: FigureResult, path: Union[str, Path]) -> Path:
+    """Write the rows as CSV (columns in declared order)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=list(result.columns), extrasaction="ignore"
+        )
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(row)
+    return path
+
+
+def read_csv(path: Union[str, Path]) -> list[dict]:
+    """Load CSV rows (values come back as strings; callers convert)."""
+    with Path(path).open() as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,226 @@
+"""Programmatic validation of the paper's claims.
+
+``validate_all`` runs a reduced-scale version of every figure experiment
+and checks the paper's qualitative claims as machine-verifiable predicates.
+It returns a list of :class:`ClaimCheck` results — the benchmark suite
+asserts them, and the CLI / CI can print them as a scorecard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.experiments import (
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+)
+from repro.experiments.report import FigureResult
+
+FAST_SEEDS = tuple(range(2))
+FAST_RATES = (0.05, 0.5)
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified claim."""
+
+    figure: str
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+def _check(figure: str, claim: str, passed: bool, detail: str = "") -> ClaimCheck:
+    return ClaimCheck(figure=figure, claim=claim, passed=bool(passed),
+                      detail=detail)
+
+
+def validate_fig4(result: Optional[FigureResult] = None) -> list[ClaimCheck]:
+    result = result or fig04.run(
+        seeds=FAST_SEEDS, error_rates=FAST_RATES, workloads=("graph-bfs",)
+    )
+    checks = []
+    for rate in FAST_RATES:
+        retry = result.value("mean_recovery_s", workload="graph-bfs",
+                             strategy="retry", error_rate=rate)
+        canary = result.value("mean_recovery_s", workload="graph-bfs",
+                              strategy="canary", error_rate=rate)
+        checks.append(_check(
+            "fig4",
+            f"Canary recovery well below retry at {rate:.0%}",
+            canary < 0.4 * retry,
+            f"{canary:.2f}s vs {retry:.2f}s",
+        ))
+    return checks
+
+
+def validate_fig5() -> list[ClaimCheck]:
+    result = fig05.run(
+        seeds=FAST_SEEDS, invocations=(100, 400), workloads=("graph-bfs",)
+    )
+    canary = [
+        result.value("mean_recovery_s", workload="graph-bfs",
+                     strategy="canary", invocations=n)
+        for n in (100, 400)
+    ]
+    retry = [
+        result.value("mean_recovery_s", workload="graph-bfs",
+                     strategy="retry", invocations=n)
+        for n in (100, 400)
+    ]
+    return [
+        _check("fig5", "Canary beats retry at every scale",
+               all(c < r for c, r in zip(canary, retry))),
+        _check("fig5", "Canary recovery stays near-flat with scale",
+               max(canary) < 3 * min(canary),
+               f"{min(canary):.2f}-{max(canary):.2f}s"),
+    ]
+
+
+def validate_fig6() -> list[ClaimCheck]:
+    result = fig06.run(
+        seeds=FAST_SEEDS, error_rates=FAST_RATES, workloads=("dl-training",)
+    )
+    ckpt_only = [
+        result.value("mean_recovery_s", workload="dl-training",
+                     strategy="canary-checkpoint-only", error_rate=r)
+        for r in FAST_RATES
+    ]
+    retry = [
+        result.value("mean_recovery_s", workload="dl-training",
+                     strategy="retry", error_rate=r)
+        for r in FAST_RATES
+    ]
+    return [
+        _check("fig6", "checkpoint restore alone beats retry",
+               all(c < r for c, r in zip(ckpt_only, retry))),
+    ]
+
+
+def validate_fig7() -> list[ClaimCheck]:
+    result = fig07.run(seeds=FAST_SEEDS, error_rates=FAST_RATES)
+    ideal = result.value("makespan_s", strategy="ideal", error_rate=0.0)
+    canary_worst = result.value("makespan_s", strategy="canary",
+                                error_rate=0.5)
+    retry_worst = result.value("makespan_s", strategy="retry", error_rate=0.5)
+    return [
+        _check("fig7", "Canary tracks ideal makespan",
+               canary_worst < 1.25 * ideal,
+               f"{canary_worst:.0f}s vs ideal {ideal:.0f}s"),
+        _check("fig7", "retry diverges at high error rates",
+               retry_worst > 2 * ideal),
+    ]
+
+
+def validate_fig8() -> list[ClaimCheck]:
+    result = fig08.run(seeds=FAST_SEEDS, error_rates=FAST_RATES)
+    canary = result.value("cost_usd", strategy="canary", error_rate=0.5)
+    retry = result.value("cost_usd", strategy="retry", error_rate=0.5)
+    ideal = result.value("cost_usd", strategy="ideal", error_rate=0.0)
+    return [
+        _check("fig8", "Canary cheaper than retry at high error rates",
+               canary < retry, f"${canary:.4f} vs ${retry:.4f}"),
+        _check("fig8", "Canary cost near ideal", canary < 1.25 * ideal),
+    ]
+
+
+def validate_fig9() -> list[ClaimCheck]:
+    result = fig09.run(seeds=FAST_SEEDS, error_rates=FAST_RATES)
+    ar = result.value("cost_usd", replication="aggressive", error_rate=0.05)
+    dr = result.value("cost_usd", replication="dynamic", error_rate=0.05)
+    lr = result.value("cost_usd", replication="lenient", error_rate=0.05)
+    return [
+        _check("fig9", "AR costs far more than DR", ar > 1.1 * dr),
+        _check("fig9", "DR sits near LR on cost",
+               abs(dr - lr) / lr < 0.10),
+    ]
+
+
+def validate_fig10() -> list[ClaimCheck]:
+    result = fig10.run(seeds=FAST_SEEDS, error_rates=FAST_RATES)
+    checks = []
+    for rate in FAST_RATES:
+        canary = result.value("cost_usd", strategy="canary", error_rate=rate)
+        rr = result.value("cost_usd", strategy="request-replication",
+                          error_rate=rate)
+        as_ = result.value("cost_usd", strategy="active-standby",
+                           error_rate=rate)
+        checks.append(_check(
+            "fig10", f"RR and AS cost ~2x+ Canary at {rate:.0%}",
+            rr > 1.5 * canary and as_ > 1.5 * canary,
+        ))
+    return checks
+
+
+def validate_fig11() -> list[ClaimCheck]:
+    result = fig11.run(seeds=FAST_SEEDS, invocations=(200, 400))
+    checks = []
+    for n in (200, 400):
+        retry = result.value("mean_recovery_s", strategy="retry",
+                             invocations=n)
+        canary = result.value("mean_recovery_s", strategy="canary",
+                              invocations=n)
+        checks.append(_check(
+            "fig11", f"Canary recovery below retry at {n} functions",
+            canary < retry,
+        ))
+    return checks
+
+
+def validate_fig12() -> list[ClaimCheck]:
+    result = fig12.run(
+        seeds=(0,), node_counts=(1, 8), num_functions=1000, jobs=2
+    )
+    checks = []
+    for strategy in ("ideal", "retry", "canary"):
+        small = result.value("makespan_s", strategy=strategy, nodes=1)
+        large = result.value("makespan_s", strategy=strategy, nodes=8)
+        checks.append(_check(
+            "fig12", f"{strategy} speeds up with more nodes", small > large,
+        ))
+    ideal = result.value("makespan_s", strategy="ideal", nodes=8)
+    canary = result.value("makespan_s", strategy="canary", nodes=8)
+    checks.append(_check("fig12", "Canary near ideal at full cluster",
+                         canary < 1.25 * ideal))
+    return checks
+
+
+_VALIDATORS: Sequence[Callable[[], list[ClaimCheck]]] = (
+    validate_fig4,
+    validate_fig5,
+    validate_fig6,
+    validate_fig7,
+    validate_fig8,
+    validate_fig9,
+    validate_fig10,
+    validate_fig11,
+    validate_fig12,
+)
+
+
+def validate_all() -> list[ClaimCheck]:
+    """Run every figure's reduced-scale claim checks."""
+    checks: list[ClaimCheck] = []
+    for validator in _VALIDATORS:
+        checks.extend(validator())
+    return checks
+
+
+def scorecard(checks: Sequence[ClaimCheck]) -> str:
+    """Render claim checks as a pass/fail table."""
+    lines = ["figure  status  claim"]
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        detail = f"  [{check.detail}]" if check.detail else ""
+        lines.append(f"{check.figure:6s}  {status:6s}  {check.claim}{detail}")
+    passed = sum(1 for c in checks if c.passed)
+    lines.append(f"-- {passed}/{len(checks)} claims reproduced --")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""OpenWhisk-like FaaS platform substrate (simulated).
+
+The platform mirrors the pieces of Apache OpenWhisk the paper builds on: a
+controller that places function containers on invoker nodes, per-runtime
+container images with distinct cold-start profiles, platform concurrency and
+resource limits, and a queue for invocations that cannot be placed yet.
+All timing runs on the discrete-event engine in :mod:`repro.sim`.
+"""
+
+from repro.faas.container import Container, ContainerPurpose
+from repro.faas.controller import ContainerRequest, FaaSController
+from repro.faas.invoker import Invoker
+from repro.faas.limits import PlatformLimits
+from repro.faas.runtimes import (
+    DEFAULT_RUNTIME_IMAGES,
+    RuntimeImage,
+    RuntimeRegistry,
+)
+
+__all__ = [
+    "Container",
+    "ContainerPurpose",
+    "ContainerRequest",
+    "DEFAULT_RUNTIME_IMAGES",
+    "FaaSController",
+    "Invoker",
+    "PlatformLimits",
+    "RuntimeImage",
+    "RuntimeRegistry",
+]

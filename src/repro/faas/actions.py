@@ -1,0 +1,185 @@
+"""OpenWhisk-style actions, triggers, and rules.
+
+The paper's Fig. 1 execution flow starts from this vocabulary: *actions*
+(named functions with a runtime, memory allocation, and timeout), *triggers*
+(named event sources), and *rules* binding triggers to actions.  The
+:class:`ActionRegistry` mirrors the ``wsk`` CLI surface (`action create`,
+`trigger create`, `rule create`, `trigger fire`) and is shared by both
+backends: the simulator uses it to resolve job submissions, the local
+executor uses it to invoke real Python callables by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.errors import ReproError
+from repro.common.types import RuntimeKind
+from repro.common.units import mb
+
+
+class ActionError(ReproError):
+    """Raised for unknown/duplicate actions, triggers, or rules."""
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """A registered action.
+
+    Attributes:
+        name: Unique action name.
+        runtime: Runtime image kind the action executes in.
+        memory_bytes: Memory allocation.
+        timeout_s: Execution time limit.
+        handler: Optional real Python callable (local executor); the
+            simulator only needs the metadata.
+        annotations: Free-form key/value metadata (mirrors wsk annotations).
+    """
+
+    name: str
+    runtime: RuntimeKind
+    memory_bytes: float = mb(256)
+    timeout_s: float = 300.0
+    handler: Optional[Callable[..., Any]] = None
+    annotations: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("action name must be non-empty")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+
+@dataclass(frozen=True)
+class TriggerSpec:
+    """A named event source."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("trigger name must be non-empty")
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Binds a trigger to an action (one rule per pair)."""
+
+    name: str
+    trigger: str
+    action: str
+
+
+@dataclass
+class Activation:
+    """Record of one trigger firing → action invocation."""
+
+    activation_id: int
+    trigger: str
+    action: str
+    params: dict[str, Any]
+    result: Any = None
+    invoked: bool = False
+
+
+class ActionRegistry:
+    """Registry + dispatcher for actions, triggers, and rules."""
+
+    def __init__(self) -> None:
+        self._actions: dict[str, ActionSpec] = {}
+        self._triggers: dict[str, TriggerSpec] = {}
+        self._rules: dict[str, RuleSpec] = {}
+        self._activations: list[Activation] = []
+
+    # ------------------------------------------------------------------
+    # Creation (wsk {action,trigger,rule} create)
+    # ------------------------------------------------------------------
+    def create_action(self, spec: ActionSpec) -> None:
+        if spec.name in self._actions:
+            raise ActionError(f"action {spec.name!r} already exists")
+        self._actions[spec.name] = spec
+
+    def create_trigger(self, spec: TriggerSpec) -> None:
+        if spec.name in self._triggers:
+            raise ActionError(f"trigger {spec.name!r} already exists")
+        self._triggers[spec.name] = spec
+
+    def create_rule(self, spec: RuleSpec) -> None:
+        if spec.name in self._rules:
+            raise ActionError(f"rule {spec.name!r} already exists")
+        if spec.trigger not in self._triggers:
+            raise ActionError(f"rule references unknown trigger {spec.trigger!r}")
+        if spec.action not in self._actions:
+            raise ActionError(f"rule references unknown action {spec.action!r}")
+        self._rules[spec.name] = spec
+
+    def delete_action(self, name: str) -> None:
+        if name not in self._actions:
+            raise ActionError(f"no action {name!r}")
+        bound = [r.name for r in self._rules.values() if r.action == name]
+        if bound:
+            raise ActionError(
+                f"action {name!r} still bound by rules {bound}"
+            )
+        del self._actions[name]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def action(self, name: str) -> ActionSpec:
+        try:
+            return self._actions[name]
+        except KeyError:
+            raise ActionError(
+                f"no action {name!r}; known: {sorted(self._actions)}"
+            ) from None
+
+    def actions(self) -> list[str]:
+        return sorted(self._actions)
+
+    def triggers(self) -> list[str]:
+        return sorted(self._triggers)
+
+    def rules_for_trigger(self, trigger: str) -> list[RuleSpec]:
+        return sorted(
+            (r for r in self._rules.values() if r.trigger == trigger),
+            key=lambda r: r.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Invocation (wsk action invoke / trigger fire)
+    # ------------------------------------------------------------------
+    def invoke(self, name: str, **params: Any) -> Any:
+        """Synchronously invoke an action's real handler (local backend)."""
+        spec = self.action(name)
+        if spec.handler is None:
+            raise ActionError(
+                f"action {name!r} has no local handler (metadata-only)"
+            )
+        return spec.handler(**params)
+
+    def fire_trigger(self, trigger: str, **params: Any) -> list[Activation]:
+        """Fire a trigger: invoke every action bound to it via rules."""
+        if trigger not in self._triggers:
+            raise ActionError(f"no trigger {trigger!r}")
+        activations = []
+        for rule in self.rules_for_trigger(trigger):
+            activation = Activation(
+                activation_id=len(self._activations),
+                trigger=trigger,
+                action=rule.action,
+                params=dict(params),
+            )
+            self._activations.append(activation)
+            spec = self.action(rule.action)
+            if spec.handler is not None:
+                activation.result = spec.handler(**params)
+                activation.invoked = True
+            activations.append(activation)
+        return activations
+
+    def activations(self) -> list[Activation]:
+        return list(self._activations)

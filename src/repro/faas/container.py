@@ -1,0 +1,137 @@
+"""Function containers: lifecycle + resource/cost accounting."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.cluster.node import Node
+from repro.common.types import ContainerState, RuntimeKind
+from repro.faas.runtimes import RuntimeImage
+
+
+class ContainerPurpose(str, enum.Enum):
+    """Why a container exists; drives cost attribution and replica logic."""
+
+    FUNCTION = "function"    # hosts a regular function attempt
+    REPLICA = "replica"      # warm replicated runtime (Canary)
+    STANDBY = "standby"      # passive instance (active-standby baseline)
+
+
+class Container:
+    """A single container instance on a node.
+
+    The container itself is passive — the invoker drives its cold start and
+    the function execution drives its RUNNING phase.  It records the
+    timestamps needed for cost accounting: a container is billed from launch
+    start until termination (idle warm replicas bill too; that is exactly the
+    replication cost the paper trades against recovery time).
+    """
+
+    def __init__(
+        self,
+        container_id: str,
+        runtime: RuntimeImage,
+        node: Node,
+        *,
+        purpose: ContainerPurpose = ContainerPurpose.FUNCTION,
+        memory_bytes: Optional[float] = None,
+        created_at: float = 0.0,
+    ) -> None:
+        self.container_id = container_id
+        self.runtime = runtime
+        self.node = node
+        self.purpose = purpose
+        self.memory_bytes = (
+            memory_bytes if memory_bytes is not None else runtime.memory_bytes
+        )
+        self.state = ContainerState.PENDING
+        self.created_at = created_at
+        self.launch_started_at: Optional[float] = None
+        self.ready_at: Optional[float] = None
+        self.terminated_at: Optional[float] = None
+        self.current_function: Optional[str] = None
+        self.adopted_count = 0  # times a replica adopted a failed function
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> RuntimeKind:
+        return self.runtime.kind
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (
+            ContainerState.COMPLETED,
+            ContainerState.FAILED,
+            ContainerState.KILLED,
+        )
+
+    @property
+    def is_warm_idle(self) -> bool:
+        """A ready replica not currently hosting any function."""
+        return (
+            self.state == ContainerState.WARM
+            and self.current_function is None
+            and self.node.alive
+        )
+
+    def billed_seconds(self, now: float) -> float:
+        """Wall-clock the container has been alive (for GB-s billing)."""
+        start = self.launch_started_at
+        if start is None:
+            return 0.0
+        end = self.terminated_at if self.terminated_at is not None else now
+        return max(0.0, end - start)
+
+    def billed_gb_seconds(self, now: float) -> float:
+        from repro.common.units import GiB  # local import avoids cycle noise
+
+        return self.billed_seconds(now) * (self.memory_bytes / GiB)
+
+    # ------------------------------------------------------------------
+    # Transitions (invoked by the invoker / controller / injector)
+    # ------------------------------------------------------------------
+    def mark_launching(self, now: float) -> None:
+        self.state = ContainerState.LAUNCHING
+        self.launch_started_at = now
+
+    def mark_initializing(self) -> None:
+        self.state = ContainerState.INITIALIZING
+
+    def mark_ready(self, now: float, *, warm: bool) -> None:
+        self.state = ContainerState.WARM if warm else ContainerState.RUNNING
+        self.ready_at = now
+
+    def adopt(self, function_id: str) -> None:
+        """A warm replica takes over a failed function (Canary recovery)."""
+        if not self.is_warm_idle:
+            raise RuntimeError(
+                f"container {self.container_id} cannot adopt "
+                f"{function_id}: state={self.state}, "
+                f"current={self.current_function}"
+            )
+        self.current_function = function_id
+        self.state = ContainerState.RUNNING
+        self.adopted_count += 1
+
+    def terminate(self, now: float, state: ContainerState) -> None:
+        if state not in (
+            ContainerState.COMPLETED,
+            ContainerState.FAILED,
+            ContainerState.KILLED,
+        ):
+            raise ValueError(f"{state} is not a terminal container state")
+        if self.terminal:
+            return
+        self.state = state
+        self.terminated_at = now
+        self.node.detach(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Container({self.container_id}, {self.kind.value}, "
+            f"{self.purpose.value}, {self.state.value}, "
+            f"node={self.node.node_id}, fn={self.current_function})"
+        )

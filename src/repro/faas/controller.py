@@ -1,0 +1,372 @@
+"""The FaaS controller: container placement, queueing, node-failure fanout.
+
+Mirrors the OpenWhisk controller/invoker split: the controller picks a node
+for each container request (respecting placement preferences and
+anti-affinity), delegates the cold start to that node's invoker, and queues
+requests that no node can currently host.  Listeners (the Canary Core
+Module, the failure injector, metrics) subscribe to container loss events.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.common.errors import PlacementError
+from repro.common.types import ContainerState, RuntimeKind
+from repro.faas.container import Container, ContainerPurpose
+from repro.faas.invoker import Invoker
+from repro.faas.limits import PlatformLimits
+from repro.faas.runtimes import RuntimeRegistry
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class ContainerRequest:
+    """A pending request for a container.
+
+    ``on_ready`` fires once the container finishes its cold start.  The
+    request may wait in the controller queue while the cluster is full.
+    """
+
+    kind: RuntimeKind
+    purpose: ContainerPurpose
+    on_ready: Callable[[Container], None]
+    memory_bytes: Optional[float] = None
+    preferred_node: Optional[str] = None
+    avoid_nodes: frozenset[str] = frozenset()
+    warm: bool = False
+    cancelled: bool = False
+    container: Optional[Container] = None
+    queued_at: Optional[float] = None
+    #: invoked as soon as the container object exists (cold start still
+    #: pending) so owners can subscribe to loss events during launch
+    on_placed: Optional[Callable[[Container], None]] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class FaaSController:
+    """Places containers on invoker nodes and manages the pending queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        runtimes: Optional[RuntimeRegistry] = None,
+        limits: Optional[PlatformLimits] = None,
+        *,
+        contention_gamma: float = 0.12,
+        start_rate_limit: Optional[float] = None,
+        reuse_containers: bool = False,
+        reuse_idle_timeout_s: float = 60.0,
+    ) -> None:
+        """
+        Args:
+            start_rate_limit: Max container starts per second across the
+                platform (models the controller/scheduler bottleneck of
+                OpenWhisk-class deployments, where the shared controller —
+                not node capacity — can gate large batches).  ``None``
+                disables the limiter.
+            reuse_containers: Keep completed function containers warm and
+                hand them to subsequent invocations of the same runtime,
+                skipping the cold start (OpenWhisk's warm-start behaviour;
+                the cold-start amortization the paper defers in §V-A).
+            reuse_idle_timeout_s: Idle warm containers are reclaimed after
+                this long (they hold node slots and bill while parked).
+        """
+        if start_rate_limit is not None and start_rate_limit <= 0:
+            raise ValueError("start_rate_limit must be positive or None")
+        if reuse_idle_timeout_s <= 0:
+            raise ValueError("reuse_idle_timeout_s must be positive")
+        self.sim = sim
+        self.cluster = cluster
+        self.runtimes = runtimes or RuntimeRegistry()
+        self.limits = limits or PlatformLimits()
+        self.invokers: dict[str, Invoker] = {
+            node.node_id: Invoker(
+                sim, node, contention_gamma=contention_gamma
+            )
+            for node in cluster.nodes
+        }
+        self.containers: dict[str, Container] = {}
+        self._queue: collections.deque[ContainerRequest] = collections.deque()
+        self._id_counter = itertools.count()
+        self.start_rate_limit = start_rate_limit
+        self._next_start_at = 0.0
+        self._throttle_pending = False
+        self.reuse_containers = reuse_containers
+        self.reuse_idle_timeout_s = reuse_idle_timeout_s
+        self._reuse_pool: dict[RuntimeKind, collections.deque[Container]] = (
+            collections.defaultdict(collections.deque)
+        )
+        self.warm_starts = 0
+        self._loss_listeners: list[Callable[[Container, str], None]] = []
+        cluster.on_node_failure(self._handle_node_failure)
+        # statistics
+        self.queued_requests_total = 0
+        self.queue_wait_total_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def active_containers(
+        self, purpose: Optional[ContainerPurpose] = None
+    ) -> list[Container]:
+        return [
+            c
+            for c in self.containers.values()
+            if not c.terminal and (purpose is None or c.purpose == purpose)
+        ]
+
+    def active_function_count(self) -> int:
+        """Concurrent *invocations*: running function containers, excluding
+        warm parked ones awaiting reuse."""
+        return sum(
+            1
+            for c in self.active_containers(ContainerPurpose.FUNCTION)
+            if not c.is_warm_idle
+        )
+
+    def warm_replicas(self, kind: Optional[RuntimeKind] = None) -> list[Container]:
+        return [
+            c
+            for c in self.containers.values()
+            if c.purpose == ContainerPurpose.REPLICA
+            and c.is_warm_idle
+            and (kind is None or c.kind == kind)
+        ]
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _pick_node(self, request: ContainerRequest, memory: float) -> Optional[Node]:
+        if request.preferred_node is not None:
+            node = self.cluster.node(request.preferred_node)
+            if node.can_host(memory) and node.node_id not in request.avoid_nodes:
+                return node
+        candidates = [
+            n
+            for n in self.cluster.hosting_candidates(memory)
+            if n.node_id not in request.avoid_nodes
+        ]
+        if not candidates:
+            # Fall back to ignoring anti-affinity rather than starving.
+            candidates = self.cluster.hosting_candidates(memory)
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda n: (n.slots_free, n.profile.speed_factor, -n.index),
+        )
+
+    def submit(self, request: ContainerRequest) -> ContainerRequest:
+        """Place *request* now if possible, else queue it FIFO."""
+        if not self._try_place(request):
+            request.queued_at = self.sim.now
+            self._queue.append(request)
+            self.queued_requests_total += 1
+        return request
+
+    # ------------------------------------------------------------------
+    # Start-rate limiting (controller bottleneck model)
+    # ------------------------------------------------------------------
+    def _rate_gate_open(self) -> bool:
+        if self.start_rate_limit is None:
+            return True
+        return self.sim.now >= self._next_start_at
+
+    def _note_start(self) -> None:
+        if self.start_rate_limit is None:
+            return
+        self._next_start_at = (
+            max(self._next_start_at, self.sim.now) + 1.0 / self.start_rate_limit
+        )
+
+    def _schedule_throttled_drain(self) -> None:
+        if self._throttle_pending or self.start_rate_limit is None:
+            return
+        self._throttle_pending = True
+
+        def _drain() -> None:
+            self._throttle_pending = False
+            self._drain_queue()
+
+        self.sim.call_at(
+            max(self._next_start_at, self.sim.now),
+            _drain,
+            label="controller-throttle",
+        )
+
+    # ------------------------------------------------------------------
+    # Warm-start reuse pool
+    # ------------------------------------------------------------------
+    def _try_reuse(self, request: ContainerRequest, memory: float) -> bool:
+        """Serve *request* from a parked warm container when possible."""
+        if not self.reuse_containers or request.warm:
+            return False
+        if request.purpose != ContainerPurpose.FUNCTION:
+            return False
+        pool = self._reuse_pool[request.kind]
+        while pool:
+            container = pool.popleft()
+            if (
+                container.terminal
+                or not container.node.alive
+                or container.memory_bytes < memory
+                or container.node.node_id in request.avoid_nodes
+            ):
+                continue
+            request.container = container
+            if request.queued_at is not None:
+                self.queue_wait_total_s += self.sim.now - request.queued_at
+            self.warm_starts += 1
+            # WARM -> RUNNING without a cold start; the execution binds the
+            # function id when it begins its attempt.
+            container.state = ContainerState.RUNNING
+            container.current_function = None
+            if request.on_placed is not None:
+                request.on_placed(container)
+            request.on_ready(container)
+            return True
+        return False
+
+    def _park_for_reuse(self, container: Container) -> None:
+        """Return a completed function container to the warm pool."""
+        container.state = ContainerState.WARM
+        container.current_function = None
+        self._reuse_pool[container.kind].append(container)
+        parked_at = self.sim.now
+
+        def _reclaim() -> None:
+            # Still idle in the pool after the timeout? Tear it down.
+            if container.is_warm_idle:
+                pool = self._reuse_pool[container.kind]
+                if container in pool:
+                    pool.remove(container)
+                    container.terminate(self.sim.now, ContainerState.KILLED)
+                    self._drain_queue()
+
+        self.sim.call_in(
+            self.reuse_idle_timeout_s, _reclaim, label="reuse-reclaim"
+        )
+
+    def _try_place(self, request: ContainerRequest) -> bool:
+        if request.cancelled:
+            return True  # drop silently
+        runtime = self.runtimes.get(request.kind)
+        memory = (
+            request.memory_bytes
+            if request.memory_bytes is not None
+            else runtime.memory_bytes
+        )
+        # Warm starts reuse an existing container: no scheduler work, no
+        # rate-limit charge.
+        if self._try_reuse(request, memory):
+            return True
+        if not self._rate_gate_open():
+            self._schedule_throttled_drain()
+            return False
+        node = self._pick_node(request, memory)
+        if node is None:
+            return False
+        container = Container(
+            container_id=f"ctr-{next(self._id_counter):06d}",
+            runtime=runtime,
+            node=node,
+            purpose=request.purpose,
+            memory_bytes=memory,
+            created_at=self.sim.now,
+        )
+        node.attach(container)
+        self.containers[container.container_id] = container
+        request.container = container
+        if request.queued_at is not None:
+            self.queue_wait_total_s += self.sim.now - request.queued_at
+        if request.on_placed is not None:
+            request.on_placed(container)
+
+        def _ready(c: Container) -> None:
+            if not request.cancelled:
+                request.on_ready(c)
+
+        self.invokers[node.node_id].cold_start(
+            container, _ready, warm=request.warm
+        )
+        self._note_start()
+        return True
+
+    def _drain_queue(self) -> None:
+        """Retry queued requests in FIFO order until one fails to place."""
+        while self._queue:
+            request = self._queue[0]
+            if request.cancelled:
+                self._queue.popleft()
+                continue
+            if not self._try_place(request):
+                return
+            self._queue.popleft()
+
+    # ------------------------------------------------------------------
+    # Termination & failure
+    # ------------------------------------------------------------------
+    def terminate(self, container: Container, state: ContainerState) -> None:
+        """Tear down *container*; frees capacity and drains the queue.
+
+        With container reuse enabled, successfully completed function
+        containers are parked warm instead of destroyed.
+        """
+        if container.terminal:
+            return
+        if (
+            self.reuse_containers
+            and state is ContainerState.COMPLETED
+            and container.purpose == ContainerPurpose.FUNCTION
+            and container.node.alive
+        ):
+            self._park_for_reuse(container)
+            self._drain_queue()
+            return
+        invoker = self.invokers[container.node.node_id]
+        invoker.abort_cold_start(container)
+        container.terminate(self.sim.now, state)
+        self._drain_queue()
+
+    def on_container_loss(
+        self, listener: Callable[[Container, str], None]
+    ) -> None:
+        """Register ``listener(container, reason)`` for involuntary losses."""
+        self._loss_listeners.append(listener)
+
+    def kill_container(self, container: Container, reason: str) -> None:
+        """Involuntary kill (failure injection): terminate then notify."""
+        if container.terminal:
+            return
+        self.terminate(container, ContainerState.FAILED)
+        for listener in self._loss_listeners:
+            listener(container, reason)
+
+    def _handle_node_failure(self, node: Node, lost: list[Container]) -> None:
+        self.invokers[node.node_id].on_node_failure()
+        for container in lost:
+            if container.terminal:
+                continue
+            container.state = ContainerState.FAILED
+            container.terminated_at = self.sim.now
+            for listener in self._loss_listeners:
+                listener(container, f"node-failure:{node.node_id}")
+        self._drain_queue()
+
+    # ------------------------------------------------------------------
+    # Cost accounting feed
+    # ------------------------------------------------------------------
+    def all_containers(self) -> Iterable[Container]:
+        return self.containers.values()

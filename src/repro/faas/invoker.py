@@ -1,0 +1,116 @@
+"""Per-node invoker: drives container cold starts with contention.
+
+Cold-start phases scale with node speed and with the number of cold starts
+the node is running concurrently.  The contention multiplier is what makes
+the default retry strategy degrade when many failed functions restart at
+once ("concurrently restarts all the failed functions which leads to
+resource contention and further increases the recovery time", §IV-C-4-c)
+and what makes node-failure retry storms expensive (§V-D-6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cluster.node import Node
+from repro.common.types import ContainerState
+from repro.faas.container import Container
+from repro.sim.engine import EventHandle, Simulator
+
+
+class Invoker:
+    """Drives container lifecycles on one node.
+
+    Args:
+        sim: The discrete-event engine.
+        node: The node this invoker manages.
+        contention_gamma: Per extra concurrent cold start, phases stretch by
+            this fraction (launch time × (1 + γ·(k−1)) for k in-flight).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        *,
+        contention_gamma: float = 0.12,
+    ) -> None:
+        if contention_gamma < 0:
+            raise ValueError("contention_gamma must be non-negative")
+        self.sim = sim
+        self.node = node
+        self.contention_gamma = contention_gamma
+        self.cold_starts_total = 0
+        self._pending_ready: dict[str, EventHandle] = {}
+
+    # ------------------------------------------------------------------
+    def _contention_multiplier(self) -> float:
+        k = max(1, self.node.cold_starts_in_flight)
+        return 1.0 + self.contention_gamma * (k - 1)
+
+    def cold_start(
+        self,
+        container: Container,
+        on_ready: Callable[[Container], None],
+        *,
+        warm: bool = False,
+    ) -> float:
+        """Launch + initialize *container*; invoke *on_ready* when done.
+
+        Returns the projected cold-start duration (the actual ready event is
+        scheduled on the engine).  ``warm=True`` parks the container in the
+        WARM state (replica / standby pools) instead of RUNNING.
+        """
+        if not self.node.alive:
+            raise RuntimeError(f"node {self.node.node_id} is dead")
+        self.node.cold_starts_in_flight += 1
+        self.cold_starts_total += 1
+        multiplier = self._contention_multiplier()
+        launch = self.node.scale_duration(
+            container.runtime.launch_time_s * multiplier
+        )
+        init = self.node.scale_duration(
+            container.runtime.init_time_s * multiplier
+        )
+        container.mark_launching(self.sim.now)
+
+        def _to_init() -> None:
+            if container.terminal or not self.node.alive:
+                self._cold_start_done(container)
+                return
+            container.mark_initializing()
+
+        def _to_ready() -> None:
+            self._cold_start_done(container)
+            if container.terminal or not self.node.alive:
+                return
+            container.mark_ready(self.sim.now, warm=warm)
+            on_ready(container)
+
+        self.sim.call_in(
+            launch, _to_init, label=f"launch:{container.container_id}"
+        )
+        handle = self.sim.call_in(
+            launch + init, _to_ready, label=f"ready:{container.container_id}"
+        )
+        self._pending_ready[container.container_id] = handle
+        return launch + init
+
+    def _cold_start_done(self, container: Container) -> None:
+        if container.container_id in self._pending_ready:
+            del self._pending_ready[container.container_id]
+            if self.node.cold_starts_in_flight > 0:
+                self.node.cold_starts_in_flight -= 1
+
+    def abort_cold_start(self, container: Container) -> None:
+        """Cancel an in-flight cold start (container killed mid-launch)."""
+        handle = self._pending_ready.get(container.container_id)
+        if handle is not None:
+            handle.cancel()
+            self._cold_start_done(container)
+
+    def on_node_failure(self) -> None:
+        """Drop all in-flight cold starts when the node dies."""
+        for handle in self._pending_ready.values():
+            handle.cancel()
+        self._pending_ready.clear()

@@ -1,0 +1,39 @@
+"""Platform/account resource limits (§II-A request & concurrency failures).
+
+Defaults follow public FaaS quotas (AWS Lambda / IBM Cloud Functions order
+of magnitude): 1000 concurrent executions per account, 10 GB max memory per
+function, 15 min max execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import gb
+
+
+@dataclass(frozen=True)
+class PlatformLimits:
+    """Quotas enforced by the Request Validator Module.
+
+    Attributes:
+        max_concurrent_invocations: Account-wide concurrent execution cap.
+        max_function_memory_bytes: Per-function memory allocation cap.
+        max_function_timeout_s: Per-function execution time cap.
+        max_job_functions: Cap on functions a single job may schedule.
+    """
+
+    max_concurrent_invocations: int = 1000
+    max_function_memory_bytes: float = gb(10)
+    max_function_timeout_s: float = 900.0
+    max_job_functions: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_invocations <= 0:
+            raise ValueError("max_concurrent_invocations must be positive")
+        if self.max_function_memory_bytes <= 0:
+            raise ValueError("max_function_memory_bytes must be positive")
+        if self.max_function_timeout_s <= 0:
+            raise ValueError("max_function_timeout_s must be positive")
+        if self.max_job_functions <= 0:
+            raise ValueError("max_job_functions must be positive")

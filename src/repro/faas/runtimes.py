@@ -1,0 +1,91 @@
+"""Runtime images and their cold-start profiles.
+
+A *runtime* is the container image holding the language runtime, libraries,
+and packages a function needs (§I).  Cold start = container launch
+(``lch_f``: pod scheduling + image setup) + runtime initialization
+(``ini_f``: interpreter/JVM boot + library import).  Constants reflect the
+well-documented ordering python ≈ nodejs « java on OpenWhisk-class
+platforms; both phases additionally scale with node speed and with how many
+cold starts the node is running concurrently (see :mod:`repro.faas.invoker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import RuntimeKind
+from repro.common.units import mb
+
+
+@dataclass(frozen=True)
+class RuntimeImage:
+    """Cold-start and footprint profile of one runtime image.
+
+    Attributes:
+        kind: Language runtime.
+        launch_time_s: Baseline container launch time ``lch_f``.
+        init_time_s: Baseline runtime initialization time ``ini_f``.
+        memory_bytes: Default memory allocation for containers of this
+            runtime (functions may override).
+        image_size_bytes: Image size; larger images launch slower on nodes
+            that have not cached them (folded into ``launch_time_s`` here).
+    """
+
+    kind: RuntimeKind
+    launch_time_s: float
+    init_time_s: float
+    memory_bytes: float
+    image_size_bytes: float
+
+    @property
+    def cold_start_s(self) -> float:
+        """Baseline cold-start total (before node speed / contention)."""
+        return self.launch_time_s + self.init_time_s
+
+
+DEFAULT_RUNTIME_IMAGES: tuple[RuntimeImage, ...] = (
+    RuntimeImage(
+        kind=RuntimeKind.PYTHON,
+        launch_time_s=2.6,
+        init_time_s=1.3,
+        memory_bytes=mb(512),
+        image_size_bytes=mb(450),
+    ),
+    RuntimeImage(
+        kind=RuntimeKind.NODEJS,
+        launch_time_s=2.3,
+        init_time_s=0.9,
+        memory_bytes=mb(512),
+        image_size_bytes=mb(380),
+    ),
+    RuntimeImage(
+        kind=RuntimeKind.JAVA,
+        launch_time_s=3.4,
+        init_time_s=3.1,
+        memory_bytes=mb(768),
+        image_size_bytes=mb(620),
+    ),
+)
+
+
+class RuntimeRegistry:
+    """Lookup of runtime images by kind."""
+
+    def __init__(
+        self, images: tuple[RuntimeImage, ...] = DEFAULT_RUNTIME_IMAGES
+    ) -> None:
+        self._images = {image.kind: image for image in images}
+        if len(self._images) != len(images):
+            raise ValueError("duplicate runtime kinds in registry")
+
+    def get(self, kind: RuntimeKind) -> RuntimeImage:
+        try:
+            return self._images[kind]
+        except KeyError:
+            raise KeyError(
+                f"no runtime image registered for {kind!r}; "
+                f"known: {sorted(k.value for k in self._images)}"
+            ) from None
+
+    def kinds(self) -> list[RuntimeKind]:
+        return sorted(self._images, key=lambda k: k.value)

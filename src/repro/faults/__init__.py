@@ -1,0 +1,11 @@
+"""Failure injection (§V-B).
+
+The paper "simulate[s] failures by randomly killing containers that host
+functions based on the defined error rate" and, for the scaling study,
+injects node-level failures.  The injector reproduces both, deterministically
+per experiment seed.
+"""
+
+from repro.faults.injector import FailureInjector, FailurePlan
+
+__all__ = ["FailureInjector", "FailurePlan"]

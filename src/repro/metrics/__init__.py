@@ -1,0 +1,29 @@
+"""Metrics: per-function traces, failure/recovery records, summaries."""
+
+from repro.metrics.availability import availability, total_function_time
+from repro.metrics.collector import (
+    FailureEvent,
+    FunctionTrace,
+    MetricsCollector,
+)
+from repro.metrics.summary import RunSummary, summarize
+from repro.metrics.timeline import (
+    TimelineEvent,
+    build_timeline,
+    iter_function_timeline,
+    render_timeline,
+)
+
+__all__ = [
+    "FailureEvent",
+    "FunctionTrace",
+    "MetricsCollector",
+    "RunSummary",
+    "TimelineEvent",
+    "availability",
+    "build_timeline",
+    "iter_function_timeline",
+    "render_timeline",
+    "summarize",
+    "total_function_time",
+]

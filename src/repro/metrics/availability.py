@@ -1,0 +1,32 @@
+"""Availability accounting.
+
+The paper's headline includes "improves application availability".  We
+quantify availability as the fraction of total function wall-time spent
+making forward progress — i.e. everything except the recovery overhead
+(detection, relaunch/adoption, restore, and redone work):
+
+    availability = 1 − Σ recovery_time / Σ function latency
+
+An ideal failure-free run scores 1.0; a retry run at a high error rate
+loses a large slice of its wall-time to repeated restarts.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.collector import MetricsCollector
+
+
+def total_function_time(metrics: MetricsCollector) -> float:
+    """Σ of per-function latencies (submission → completion)."""
+    return sum(
+        t.latency for t in metrics.traces.values() if t.latency is not None
+    )
+
+
+def availability(metrics: MetricsCollector) -> float:
+    """Forward-progress fraction in [0, 1] (1.0 when failure-free)."""
+    busy = total_function_time(metrics)
+    if busy <= 0:
+        return 1.0
+    lost = metrics.total_recovery_time()
+    return max(0.0, min(1.0, 1.0 - lost / busy))

@@ -1,0 +1,77 @@
+"""Run summaries: the numbers each benchmark table row is built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cost.pricing import CostBreakdown
+from repro.metrics.collector import MetricsCollector
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregated result of one simulated run (one seed)."""
+
+    strategy: str
+    workload: str
+    error_rate: float
+    num_functions: int
+    num_nodes: int
+    makespan_s: float
+    total_recovery_s: float
+    mean_recovery_s: float
+    failures: int
+    unrecovered: int
+    completed: int
+    cost_total: float
+    cost_function: float
+    cost_replica: float
+    cost_standby: float
+    checkpoints_taken: int
+    checkpoint_time_s: float
+    replicas_launched: int
+    seed: int
+
+    @property
+    def all_completed(self) -> bool:
+        return self.completed == self.num_functions
+
+
+def summarize(
+    *,
+    strategy: str,
+    workload: str,
+    error_rate: float,
+    num_functions: int,
+    num_nodes: int,
+    makespan_s: float,
+    metrics: MetricsCollector,
+    cost: CostBreakdown,
+    checkpoints_taken: int,
+    replicas_launched: int,
+    seed: int,
+) -> RunSummary:
+    """Build a :class:`RunSummary` from a finished run's collectors."""
+    checkpoint_time = sum(t.checkpoint_time_s for t in metrics.traces.values())
+    return RunSummary(
+        strategy=strategy,
+        workload=workload,
+        error_rate=error_rate,
+        num_functions=num_functions,
+        num_nodes=num_nodes,
+        makespan_s=makespan_s,
+        total_recovery_s=metrics.total_recovery_time(),
+        mean_recovery_s=metrics.mean_recovery_time(),
+        failures=len(metrics.failures),
+        unrecovered=len(metrics.unrecovered_failures()),
+        completed=metrics.completed_count(),
+        cost_total=cost.total,
+        cost_function=cost.function_cost,
+        cost_replica=cost.replica_cost,
+        cost_standby=cost.standby_cost,
+        checkpoints_taken=checkpoints_taken,
+        checkpoint_time_s=checkpoint_time,
+        replicas_launched=replicas_launched,
+        seed=seed,
+    )

@@ -1,0 +1,95 @@
+"""Timeline export: per-function event sequences for post-hoc analysis.
+
+Turns a finished run's traces into flat, sorted event tuples —
+``(time, function_id, event, detail)`` — convenient for debugging a
+simulation, plotting Gantt-style recovery charts, or diffing two
+strategies' behaviour on the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.metrics.collector import MetricsCollector
+
+
+@dataclass(frozen=True, order=True)
+class TimelineEvent:
+    time: float
+    function_id: str
+    event: str
+    detail: str = ""
+
+
+def build_timeline(metrics: MetricsCollector) -> list[TimelineEvent]:
+    """Flatten all traces into one chronologically sorted event list."""
+    events: list[TimelineEvent] = []
+    for trace in metrics.traces.values():
+        events.append(
+            TimelineEvent(trace.submitted_at, trace.function_id, "submitted")
+        )
+        if trace.first_ready_at is not None:
+            events.append(
+                TimelineEvent(
+                    trace.first_ready_at, trace.function_id, "ready"
+                )
+            )
+        for failure in trace.failures:
+            events.append(
+                TimelineEvent(
+                    failure.kill_time,
+                    trace.function_id,
+                    "killed",
+                    failure.reason,
+                )
+            )
+            if failure.resume_time is not None:
+                events.append(
+                    TimelineEvent(
+                        failure.resume_time,
+                        trace.function_id,
+                        "resumed",
+                        failure.recovered_via,
+                    )
+                )
+            if failure.recovered_at is not None:
+                events.append(
+                    TimelineEvent(
+                        failure.recovered_at,
+                        trace.function_id,
+                        "recovered",
+                        f"lost={failure.recovery_time:.2f}s",
+                    )
+                )
+        if trace.completed_at is not None:
+            events.append(
+                TimelineEvent(
+                    trace.completed_at, trace.function_id, "completed"
+                )
+            )
+    events.sort()
+    return events
+
+
+def iter_function_timeline(
+    metrics: MetricsCollector, function_id: str
+) -> Iterator[TimelineEvent]:
+    """Events of a single function, in order."""
+    for event in build_timeline(metrics):
+        if event.function_id == function_id:
+            yield event
+
+
+def render_timeline(
+    metrics: MetricsCollector, *, limit: int = 100
+) -> str:
+    """Human-readable timeline dump (first *limit* events)."""
+    lines = []
+    for event in build_timeline(metrics)[:limit]:
+        detail = f" ({event.detail})" if event.detail else ""
+        lines.append(
+            f"{event.time:10.3f}s  {event.function_id:18s} "
+            f"{event.event:10s}{detail}"
+        )
+    return "\n".join(lines)

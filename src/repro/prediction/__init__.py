@@ -1,0 +1,17 @@
+"""Failure prediction & proactive mitigation (§VII future work).
+
+"In our future work, we will extend the Canary framework to predict and
+proactively mitigate failures."  This package implements that extension:
+
+* :class:`NodeHealthPredictor` scores nodes from their hardware-age prior
+  and the burst of container faults that typically precedes a node death;
+* :class:`ProactiveMitigator` cordons suspect nodes and *drains* them —
+  running functions checkpoint-migrate to healthy nodes before the failure
+  lands, turning a correlated restart storm into a handful of cheap
+  migrations.
+"""
+
+from repro.prediction.mitigator import ProactiveMitigator
+from repro.prediction.predictor import NodeHealthPredictor
+
+__all__ = ["NodeHealthPredictor", "ProactiveMitigator"]

@@ -1,0 +1,120 @@
+"""Proactive mitigation: cordon and drain nodes predicted to fail.
+
+The mitigator ticks periodically on the virtual clock.  Each tick it asks
+the predictor for nodes whose recent fault burst crosses the risk
+threshold, then:
+
+1. **cordons** the node — the scheduler places nothing new there;
+2. **drains** it — every running function on the node checkpoint-migrates
+   to a healthy node (warm replica first, cold container otherwise), and
+   warm replicas parked there are retired so the Replication Module
+   re-provisions them elsewhere.
+
+If the prediction was right, the subsequent node death kills an empty (or
+nearly empty) node; if it was wrong, the cost is a few early migrations
+and some unused capacity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.node import Node
+from repro.common.types import ContainerState
+from repro.faas.container import ContainerPurpose
+from repro.prediction.predictor import NodeHealthPredictor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.canary import CanaryPlatform
+
+
+class ProactiveMitigator:
+    """Drives prediction-based node cordoning and draining."""
+
+    def __init__(
+        self,
+        platform: "CanaryPlatform",
+        predictor: NodeHealthPredictor,
+        *,
+        tick_interval_s: float = 1.0,
+    ) -> None:
+        if tick_interval_s <= 0:
+            raise ValueError("tick_interval_s must be positive")
+        self.platform = platform
+        self.predictor = predictor
+        self.tick_interval_s = tick_interval_s
+        self.migrations = 0
+        self.cordons = 0
+        self._running = False
+        platform.controller.on_container_loss(self._observe_loss)
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def _observe_loss(self, container, reason: str) -> None:
+        # Node-level deaths need no prediction anymore; everything else on
+        # a node (injected kills, precursors) feeds the burst detector.
+        if reason.startswith("node-failure"):
+            self.predictor.clear(container.node.node_id)
+            return
+        self.predictor.observe_fault(
+            container.node.node_id, self.platform.sim.now
+        )
+
+    # ------------------------------------------------------------------
+    # Tick loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin ticking; stops by itself once no job remains active."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_tick()
+
+    def _schedule_tick(self) -> None:
+        self.platform.sim.call_in(
+            self.tick_interval_s, self._tick, label="mitigator-tick"
+        )
+
+    def _has_active_work(self) -> bool:
+        if any(not job.done for job in self.platform.jobs.values()):
+            return True
+        return bool(self.platform._pending_jobs)
+
+    def _tick(self) -> None:
+        if not self._has_active_work():
+            self._running = False
+            return
+        now = self.platform.sim.now
+        for node in self.predictor.predict_failing(now):
+            self._drain(node)
+        self._schedule_tick()
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def _drain(self, node: Node) -> None:
+        if node.cordoned or not node.alive:
+            return
+        node.cordoned = True
+        self.cordons += 1
+        ctx = self.platform.ctx
+        for container in list(node.containers.values()):
+            if container.terminal:
+                continue
+            if container.purpose == ContainerPurpose.FUNCTION:
+                execution = ctx.container_owners.get(container.container_id)
+                if execution is None:
+                    continue
+                attempt = execution._live.get(container.container_id)
+                if attempt is not None and execution.migrate(attempt):
+                    self.migrations += 1
+            elif container.purpose == ContainerPurpose.REPLICA:
+                # Retire doomed replicas; the Replication Module will
+                # re-provision the pool on healthy nodes.
+                ctx.runtime_manager.unregister_replica(container)
+                self.platform.controller.terminate(
+                    container, ContainerState.KILLED
+                )
+                if self.platform.replication is not None:
+                    self.platform.replication.reconcile(container.kind)

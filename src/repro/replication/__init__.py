@@ -1,0 +1,28 @@
+"""Replication Module (§IV-C-5, Algorithm 2).
+
+Replicates the runtimes used by scheduled jobs so failed functions can
+resume in a warm container, with three replica-count strategies (dynamic,
+aggressive, lenient — §V-D-4) and locality-aware anti-affinity placement.
+"""
+
+from repro.replication.estimator import FailureRateEstimator
+from repro.replication.module import ReplicationModule
+from repro.replication.placement import ReplicaPlacer
+from repro.replication.strategies import (
+    AggressiveReplication,
+    DynamicReplication,
+    LenientReplication,
+    ReplicationStrategy,
+    make_replication_strategy,
+)
+
+__all__ = [
+    "AggressiveReplication",
+    "DynamicReplication",
+    "FailureRateEstimator",
+    "LenientReplication",
+    "ReplicaPlacer",
+    "ReplicationModule",
+    "ReplicationStrategy",
+    "make_replication_strategy",
+]

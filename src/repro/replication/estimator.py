@@ -1,0 +1,56 @@
+"""On-line failure-rate estimation for dynamic replication.
+
+Dynamic replication "adjusts the replication factor based on the failure
+rate" (§V-D-4).  The estimator blends a Bayesian-style prior with the
+observed failure fraction so the factor is sane before any outcome has been
+seen and converges to the empirical rate as evidence accumulates.
+"""
+
+from __future__ import annotations
+
+
+class FailureRateEstimator:
+    """Beta-prior estimate of the per-function failure probability.
+
+    Args:
+        prior_rate: Assumed failure rate before observations.
+        prior_strength: Pseudo-observation count behind the prior; larger
+            values make the estimate slower to move.
+    """
+
+    def __init__(
+        self, *, prior_rate: float = 0.05, prior_strength: float = 10.0
+    ) -> None:
+        if not 0.0 <= prior_rate <= 1.0:
+            raise ValueError("prior_rate must be within [0, 1]")
+        if prior_strength <= 0:
+            raise ValueError("prior_strength must be positive")
+        self.prior_rate = prior_rate
+        self.prior_strength = prior_strength
+        self.failures = 0
+        self.successes = 0
+
+    def record_failure(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.failures += count
+
+    def record_success(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.successes += count
+
+    @property
+    def observations(self) -> int:
+        return self.failures + self.successes
+
+    @property
+    def rate(self) -> float:
+        """Posterior-mean failure rate in [0, 1]."""
+        pseudo_failures = self.prior_rate * self.prior_strength
+        total = self.observations + self.prior_strength
+        return (self.failures + pseudo_failures) / total
+
+    def reset(self) -> None:
+        self.failures = 0
+        self.successes = 0

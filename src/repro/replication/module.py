@@ -1,0 +1,224 @@
+"""The Replication Module: Algorithm 2 over the live platform.
+
+At job submission (and after every event that changes the picture — a
+function completing, a replica being claimed for recovery, a replica dying
+with its node) the module recomputes, per runtime, how many replicas should
+exist, compares with the live pool, and launches or retires replicas to
+match.  Placement follows :class:`~repro.replication.placement.ReplicaPlacer`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.types import ContainerState, RuntimeKind
+from repro.core.ids import IdGenerator
+from repro.faas.container import Container, ContainerPurpose
+from repro.faas.controller import ContainerRequest, FaaSController
+from repro.replication.estimator import FailureRateEstimator
+from repro.replication.placement import ReplicaPlacer
+from repro.replication.strategies import ReplicationStrategy
+from repro.runtime_manager.manager import RuntimeManagerModule
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.jobs import Job
+
+
+class ReplicationModule:
+    """Maintains the warm-replica pools that back fast recovery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: FaaSController,
+        runtime_manager: RuntimeManagerModule,
+        placer: ReplicaPlacer,
+        strategy: ReplicationStrategy,
+        ids: IdGenerator,
+        *,
+        estimator: Optional[FailureRateEstimator] = None,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.runtime_manager = runtime_manager
+        self.placer = placer
+        self.strategy = strategy
+        self.ids = ids
+        self.estimator = estimator or FailureRateEstimator()
+        self._jobs: dict[str, "Job"] = {}
+        # kind -> in-flight replica cold starts
+        self._pending: dict[RuntimeKind, list[ContainerRequest]] = {}
+        self.replicas_launched = 0
+        self.replicas_retired = 0
+        runtime_manager.on_replica_claimed(self._handle_claim)
+        controller.on_container_loss(self._handle_container_loss)
+
+    # ------------------------------------------------------------------
+    # Job registration
+    # ------------------------------------------------------------------
+    def register_job(self, job: "Job") -> None:
+        self._jobs[job.job_id] = job
+        self.reconcile(job.workload.runtime)
+
+    def complete_job(self, job: "Job") -> None:
+        self._jobs.pop(job.job_id, None)
+        self.reconcile(job.workload.runtime)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def target_for_kind(self, kind: RuntimeKind) -> int:
+        """Σ over registered jobs using *kind* of the strategy's target."""
+        total = 0
+        runtime = self.controller.runtimes.get(kind)
+        # Replacing a consumed replica takes roughly a cold start plus the
+        # failure-detection lag; that is the window the pool must cover.
+        window = runtime.cold_start_s
+        for job in self._jobs.values():
+            if job.workload.runtime != kind:
+                continue
+            remaining = job.remaining()
+            total += self.strategy.target_replicas(
+                total_functions=remaining,
+                active_replicas=self.runtime_manager.replica_count(kind),
+                estimator=self.estimator,
+                mean_function_duration_s=job.workload.mean_exec_s,
+                replacement_window_s=window,
+            )
+        return total
+
+    @staticmethod
+    def _is_inflight(request: ContainerRequest) -> bool:
+        """A replica request that has not yet produced a warm replica."""
+        if request.cancelled:
+            return False
+        container = request.container
+        if container is None:
+            return True  # still queued at the controller
+        if container.terminal:
+            return False
+        return container.state in (
+            ContainerState.PENDING,
+            ContainerState.LAUNCHING,
+            ContainerState.INITIALIZING,
+        )
+
+    def current_for_kind(self, kind: RuntimeKind) -> int:
+        """Warm replicas + in-flight replica cold starts."""
+        pending = self._pending.get(kind, [])
+        pending[:] = [r for r in pending if self._is_inflight(r)]
+        return self.runtime_manager.replica_count(kind) + len(pending)
+
+    def reconcile(self, kind: RuntimeKind) -> None:
+        """Launch or retire replicas so the pool matches the target.
+
+        Mirrors Algorithm 2: compute ``func_total`` and ``rep_req`` for each
+        scheduled runtime; when the current replication factor falls short of
+        the required one, determine ``rep_loc`` and launch; when the pool
+        exceeds the target (jobs finished), retire the surplus.
+        """
+        target = self.target_for_kind(kind)
+        current = self.current_for_kind(kind)
+        if current < target:
+            for _ in range(target - current):
+                if not self._launch_replica(kind):
+                    break
+        elif target == 0 and current > 0:
+            self._retire_surplus(kind, current)
+        elif current > max(target + 1, int(target * 1.5)):
+            # Hysteresis: keep a modest surplus rather than churning
+            # launch/retire cycles as the failure-rate estimate moves.
+            self._retire_surplus(kind, current - target)
+
+    def _job_for_kind(self, kind: RuntimeKind) -> Optional["Job"]:
+        for job in self._jobs.values():
+            if job.workload.runtime == kind:
+                return job
+        return None
+
+    def _launch_replica(self, kind: RuntimeKind) -> bool:
+        job = self._job_for_kind(kind)
+        runtime = self.controller.runtimes.get(kind)
+        memory = job.request.function_memory_bytes if job else runtime.memory_bytes
+        function_nodes = [
+            c.node
+            for c in self.controller.active_containers(ContainerPurpose.FUNCTION)
+            if c.kind == kind
+        ]
+        existing = self.runtime_manager.replica_locations(kind)
+        node = self.placer.choose_node(
+            memory_bytes=memory,
+            function_nodes=function_nodes,
+            existing_replica_nodes=existing,
+        )
+        if node is None:
+            return False
+        job_id = job.job_id if job else ""
+        replica_id = self.ids.replica_id()
+
+        def _ready(container: Container) -> None:
+            self.runtime_manager.register_replica(container, job_id, replica_id)
+
+        request = ContainerRequest(
+            kind=kind,
+            purpose=ContainerPurpose.REPLICA,
+            on_ready=_ready,
+            memory_bytes=memory,
+            preferred_node=node.node_id,
+            warm=True,
+        )
+        self.controller.submit(request)
+        self._pending.setdefault(kind, []).append(request)
+        self.replicas_launched += 1
+        return True
+
+    def _retire_surplus(self, kind: RuntimeKind, surplus: int) -> None:
+        # Cancel pending launches first (cheapest), then kill idle replicas.
+        pending = self._pending.get(kind, [])
+        while surplus > 0 and pending:
+            request = pending.pop()
+            request.cancel()
+            if request.container is not None and not request.container.terminal:
+                self.controller.terminate(
+                    request.container, ContainerState.KILLED
+                )
+            surplus -= 1
+            self.replicas_retired += 1
+        if surplus <= 0:
+            return
+        for container in self.runtime_manager.warm_replicas(kind):
+            if surplus <= 0:
+                break
+            self.runtime_manager.unregister_replica(container)
+            self.controller.terminate(container, ContainerState.KILLED)
+            surplus -= 1
+            self.replicas_retired += 1
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_claim(self, kind: RuntimeKind, job_id: str) -> None:
+        """A replica was consumed by recovery → restore pool depth.
+
+        §IV-C-5: "Once a replica is assigned to a failed function, the
+        Runtime Manager Module creates a new replica if an active function is
+        deployed with the same runtime."
+        """
+        self.reconcile(kind)
+
+    def _handle_container_loss(self, container: Container, reason: str) -> None:
+        if container.purpose != ContainerPurpose.REPLICA:
+            return
+        self.runtime_manager.unregister_replica(container)
+        self.reconcile(container.kind)
+
+    # ------------------------------------------------------------------
+    # Failure-rate feedback (driven by the Core Module)
+    # ------------------------------------------------------------------
+    def observe_function_failure(self, kind: RuntimeKind) -> None:
+        self.estimator.record_failure()
+        self.reconcile(kind)
+
+    def observe_function_success(self, kind: RuntimeKind) -> None:
+        self.estimator.record_success()

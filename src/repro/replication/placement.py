@@ -1,0 +1,91 @@
+"""Replica placement rules (§IV-C-5-b).
+
+"The first replica is placed on any worker that hosts the job function.
+Further replicas are placed away from the worker hosting the first replica
+to avoid a single point of failure … placement decisions are locality aware
+and take into account the location of worker nodes in the data center."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+
+
+class ReplicaPlacer:
+    """Chooses nodes for new runtime replicas."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def choose_node(
+        self,
+        *,
+        memory_bytes: float,
+        function_nodes: Sequence[Node],
+        existing_replica_nodes: Sequence[Node],
+    ) -> Optional[Node]:
+        """Pick the node for the next replica.
+
+        Rule 1 — the *first* replica co-locates with a worker hosting one of
+        the job's functions (warm locality: adopting it avoids cross-node
+        state movement).
+
+        Rule 2 — subsequent replicas move *away*: maximize topology distance
+        from existing replicas (different rack first, different node second),
+        avoiding a single point of failure.
+
+        Ties break toward faster, emptier nodes for minimal recovery time on
+        heterogeneous resources.
+        """
+        candidates = self.cluster.hosting_candidates(memory_bytes)
+        if not candidates:
+            return None
+
+        if not existing_replica_nodes:
+            hosting_ids = {n.node_id for n in function_nodes if n.alive}
+            co_located = [c for c in candidates if c.node_id in hosting_ids]
+            pool = co_located or candidates
+            return max(
+                pool,
+                key=lambda n: (n.profile.speed_factor, n.slots_free, -n.index),
+            )
+
+        topo = self.cluster.topology
+
+        def min_distance(candidate: Node) -> int:
+            return min(
+                topo.distance(
+                    candidate.rack,
+                    candidate.node_id,
+                    other.rack,
+                    other.node_id,
+                )
+                for other in existing_replica_nodes
+            )
+
+        return max(
+            candidates,
+            key=lambda n: (
+                min_distance(n),            # farthest from existing replicas
+                n.profile.speed_factor,
+                n.slots_free,
+                -n.index,
+            ),
+        )
+
+    def spread_score(self, nodes: Iterable[Node]) -> float:
+        """Diagnostic: mean pairwise topology distance of a replica set."""
+        nodes = list(nodes)
+        if len(nodes) < 2:
+            return 0.0
+        topo = self.cluster.topology
+        total = 0
+        pairs = 0
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                total += topo.distance(a.rack, a.node_id, b.rack, b.node_id)
+                pairs += 1
+        return total / pairs

@@ -1,0 +1,5 @@
+"""Runtime Manager Module (§IV-C-3)."""
+
+from repro.runtime_manager.manager import RuntimeManagerModule
+
+__all__ = ["RuntimeManagerModule"]

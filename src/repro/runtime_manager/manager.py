@@ -1,0 +1,185 @@
+"""Runtime Manager Module: tracks runtimes and maps failures to replicas.
+
+The module "keeps track of all runtimes used by the running functions in the
+cluster … maintains information about the used runtimes and their
+corresponding replicated runtimes and enables the Core Module to map the
+failed functions to the replicated runtimes in the event of a function
+failure" (§IV-C-3).  It also remembers *where* replicas live, which the
+claim path uses to pick the best (fastest, closest) replica.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cluster.node import Node
+from repro.common.types import ContainerState, RuntimeKind
+from repro.core.database import CanaryDatabase
+from repro.faas.container import Container, ContainerPurpose
+
+
+class RuntimeManagerModule:
+    """Registry of in-use runtimes and their warm replicas."""
+
+    def __init__(self, database: Optional[CanaryDatabase] = None) -> None:
+        self.database = database
+        # kind -> set of active function container ids
+        self._active_functions: dict[RuntimeKind, set[str]] = {}
+        # kind -> {container_id: (Container, job_id, replica_id)}
+        self._replicas: dict[RuntimeKind, dict[str, tuple[Container, str, str]]] = {}
+        self._claim_listeners: list[Callable[[RuntimeKind, str], None]] = []
+        self._availability_listeners: list[Callable[[RuntimeKind], None]] = []
+        self.claims_served = 0
+        self.claims_missed = 0
+
+    # ------------------------------------------------------------------
+    # Active runtime tracking
+    # ------------------------------------------------------------------
+    def track_function_container(self, container: Container) -> None:
+        self._active_functions.setdefault(container.kind, set()).add(
+            container.container_id
+        )
+
+    def untrack_function_container(self, container: Container) -> None:
+        self._active_functions.get(container.kind, set()).discard(
+            container.container_id
+        )
+
+    def active_function_count(self, kind: RuntimeKind) -> int:
+        return len(self._active_functions.get(kind, ()))
+
+    def kinds_in_use(self) -> list[RuntimeKind]:
+        return sorted(
+            (k for k, ids in self._active_functions.items() if ids),
+            key=lambda k: k.value,
+        )
+
+    def is_runtime_replicated(self, kind: RuntimeKind) -> bool:
+        """Does an active replica exist for *kind*? (§IV-C-5: replication is
+        triggered only for runtimes not already replicated.)"""
+        return any(
+            c.is_warm_idle or c.state == ContainerState.LAUNCHING
+            for c, _, _ in self._replicas.get(kind, {}).values()
+        )
+
+    # ------------------------------------------------------------------
+    # Replica registry
+    # ------------------------------------------------------------------
+    def register_replica(
+        self, container: Container, job_id: str, replica_id: str
+    ) -> None:
+        if container.purpose != ContainerPurpose.REPLICA:
+            raise ValueError(
+                f"container {container.container_id} is not a replica"
+            )
+        self._replicas.setdefault(container.kind, {})[
+            container.container_id
+        ] = (container, job_id, replica_id)
+        if self.database is not None:
+            self.database.replication_info.upsert(
+                {
+                    "replica_id": replica_id,
+                    "job_id": job_id,
+                    "runtime": container.kind.value,
+                    "worker_id": container.node.node_id,
+                    "container_id": container.container_id,
+                    "state": container.state.value,
+                    "created_at": container.created_at,
+                }
+            )
+        for listener in self._availability_listeners:
+            listener(container.kind)
+
+    def on_replica_available(
+        self, listener: Callable[[RuntimeKind], None]
+    ) -> None:
+        """``listener(kind)`` fires when a new warm replica registers —
+        recovery paths waiting for a replica subscribe here."""
+        self._availability_listeners.append(listener)
+
+    def unregister_replica(self, container: Container) -> None:
+        entry = self._replicas.get(container.kind, {}).pop(
+            container.container_id, None
+        )
+        if entry is not None and self.database is not None:
+            _, _, replica_id = entry
+            self.database.replication_info.update(
+                replica_id, state=container.state.value
+            )
+
+    def replica_count(self, kind: RuntimeKind, *, warm_only: bool = True) -> int:
+        entries = self._replicas.get(kind, {})
+        if not warm_only:
+            return len(entries)
+        return sum(1 for c, _, _ in entries.values() if c.is_warm_idle)
+
+    def replica_locations(self, kind: RuntimeKind) -> list[Node]:
+        return [
+            c.node
+            for c, _, _ in self._replicas.get(kind, {}).values()
+            if not c.terminal
+        ]
+
+    def warm_replicas(self, kind: RuntimeKind) -> list[Container]:
+        return [
+            c
+            for c, _, _ in self._replicas.get(kind, {}).values()
+            if c.is_warm_idle
+        ]
+
+    # ------------------------------------------------------------------
+    # Claim path (failure recovery)
+    # ------------------------------------------------------------------
+    def on_replica_claimed(
+        self, listener: Callable[[RuntimeKind, str], None]
+    ) -> None:
+        """``listener(kind, job_id)`` fires when a replica is consumed, so the
+        Replication Module can launch a replacement."""
+        self._claim_listeners.append(listener)
+
+    def claim_replica(
+        self,
+        kind: RuntimeKind,
+        function_id: str,
+        *,
+        failed_node: Optional[Node] = None,
+        exclude_failed_node: bool = False,
+    ) -> Optional[Container]:
+        """Adopt the best warm replica for a failed function.
+
+        Selection prefers (1) nodes other than the one that just failed the
+        function, (2) faster nodes, (3) deterministic container order — the
+        "best possible replicated runtime … to minimize the recovery time"
+        rule of §IV-C-4-c.  With ``exclude_failed_node`` replicas on that
+        node are not eligible at all (used when draining a node that is
+        predicted to fail: a same-node replica would die with it).
+        """
+        candidates = self.warm_replicas(kind)
+        failed_id = failed_node.node_id if failed_node is not None else None
+        if exclude_failed_node and failed_id is not None:
+            candidates = [c for c in candidates if c.node.node_id != failed_id]
+        if not candidates:
+            self.claims_missed += 1
+            return None
+
+        def rank(c: Container) -> tuple:
+            return (
+                c.node.node_id == failed_id,        # avoid the failing node
+                -c.node.profile.speed_factor,       # prefer fast nodes
+                c.container_id,                     # determinism
+            )
+
+        chosen = min(candidates, key=rank)
+        entry = self._replicas[kind][chosen.container_id]
+        chosen.adopt(function_id)
+        self.claims_served += 1
+        if self.database is not None:
+            self.database.replication_info.update(
+                entry[2], state=ContainerState.RUNNING.value
+            )
+        # The adopted container stops being a replica and becomes the
+        # function's host; drop it from the registry and announce the claim.
+        del self._replicas[kind][chosen.container_id]
+        for listener in self._claim_listeners:
+            listener(kind, entry[1])
+        return chosen

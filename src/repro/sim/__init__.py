@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate.
+
+Everything time-related in the reproduction runs on this engine: a virtual
+clock, an ordered event queue, and deterministic named random streams.  The
+engine is intentionally minimal — callbacks scheduled at absolute or relative
+virtual times, plus cancellable handles — because the FaaS platform above it
+is modeled as explicit state machines rather than coroutines.
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "RngRegistry",
+    "Simulator",
+    "derive_seed",
+]

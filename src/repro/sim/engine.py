@@ -1,0 +1,158 @@
+"""The discrete-event simulator.
+
+The simulator advances a virtual clock from event to event.  Components
+schedule callbacks with :meth:`Simulator.call_at` / :meth:`Simulator.call_in`
+and may cancel them through the returned :class:`EventHandle`.  The run loop
+is single-threaded and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Cancellable handle for a scheduled callback."""
+
+    __slots__ = ("_event", "_queue")
+
+    def __init__(self, event: Event, queue: EventQueue) -> None:
+        self._event = event
+        self._queue = queue
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+    @property
+    def active(self) -> bool:
+        """True while the callback has neither fired nor been cancelled."""
+        return not self._event.cancelled and self._event.callback is not None
+
+    def cancel(self) -> None:
+        if self.active:
+            self._queue.cancel(self._event)
+
+
+class Simulator:
+    """Virtual-time event loop with deterministic named RNG streams.
+
+    Args:
+        seed: Root seed; every named stream handed out by :attr:`rng` is
+            derived from it, so one seed pins the full trace.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    @property
+    def pending(self) -> int:
+        """Number of live (not cancelled, not fired) events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule *callback* at absolute virtual *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at t={time} "
+                f"(current time is {self._now})"
+            )
+        event = self._queue.push(time, callback, priority=priority, label=label)
+        return EventHandle(event, self._queue)
+
+    def call_in(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule *callback* after *delay* seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        return self.call_at(
+            self._now + delay, callback, priority=priority, label=label
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        try:
+            event = self._queue.pop()
+        except IndexError:
+            return False
+        self._now = event.time
+        callback = event.callback
+        event.callback = None
+        self._event_count += 1
+        if callback is not None:
+            callback()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue drains, *until* is reached, or *max_events*.
+
+        Returns the virtual time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return self._now

@@ -1,0 +1,101 @@
+"""Event primitives for the discrete-event engine.
+
+Events are ordered by (time, priority, sequence).  The sequence number makes
+ordering total and deterministic: two events scheduled for the same instant
+fire in scheduling order, independent of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Absolute virtual time at which the event fires.
+        priority: Lower fires first among same-time events (before sequence).
+        seq: Monotonic tie-breaker assigned by the queue.
+        callback: Zero-argument callable invoked when the event fires.
+        cancelled: Cancelled events stay in the heap but are skipped.
+        label: Optional human-readable tag used in traces and error messages.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Optional[Callable[[], Any]]
+    cancelled: bool = False
+    label: str = ""
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self.callback = None  # break reference cycles early
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic total ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple, Event]] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark *event* cancelled; it is dropped lazily when popped."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Pop the earliest live event.  Raises IndexError when empty."""
+        while self._heap:
+            _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or None when empty."""
+        while self._heap:
+            _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return event.time
+        return None

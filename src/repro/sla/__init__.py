@@ -1,0 +1,18 @@
+"""SLA-aware recovery (the paper's §VII future work).
+
+"We plan to incorporate user requirements into the failure recovery
+strategy to maximize the performance and cost benefits of using FaaS
+platforms."  This package adds per-job deadlines and a recovery strategy
+that spends the warm-replica pool where it buys deadline compliance and
+recovers leisurely (cold, cheap) where slack allows.
+"""
+
+from repro.sla.policy import SLAPolicy, SlackClass, classify_slack
+from repro.sla.strategy import SlaAwareCanaryStrategy
+
+__all__ = [
+    "SLAPolicy",
+    "SlaAwareCanaryStrategy",
+    "SlackClass",
+    "classify_slack",
+]

@@ -1,0 +1,25 @@
+"""Storage substrate: tier hierarchy + Ignite-like replicated KV store.
+
+Checkpoints live primarily in the in-memory KV store (Apache Ignite in the
+paper).  When a checkpoint exceeds the per-key ``db_limit`` it spills to the
+fastest available tier (PMem → Ramdisk → NFS → object store), and only the
+checkpoint *location* is pushed to the database (Algorithm 1, lines 5–8).
+"""
+
+from repro.storage.kvstore import KeyValueStore, KVEntry
+from repro.storage.router import CheckpointStorageRouter, StoredObjectRef
+from repro.storage.tiers import (
+    DEFAULT_TIERS,
+    StorageTier,
+    TierRegistry,
+)
+
+__all__ = [
+    "CheckpointStorageRouter",
+    "DEFAULT_TIERS",
+    "KVEntry",
+    "KeyValueStore",
+    "StorageTier",
+    "StoredObjectRef",
+    "TierRegistry",
+]

@@ -1,0 +1,148 @@
+"""Checkpoint placement: KV store first, spill to tiers when too large.
+
+Implements the storage side of Algorithm 1: checkpoint payloads that fit the
+KV per-key limit go to the KV store; larger payloads go to the fastest tier
+with room (``ckpt_data -> disk``) and only a *reference* is recorded.  The
+router also answers "how long does writing/reading this checkpoint take",
+which the simulator charges as ``ckp_i`` and part of ``t_res``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.storage.kvstore import KeyValueStore
+from repro.storage.tiers import StorageTier, TierRegistry
+
+
+@dataclass(frozen=True)
+class StoredObjectRef:
+    """Where a checkpoint payload physically lives.
+
+    ``tier_name == "kv"`` means the payload is inline in the KV store;
+    anything else is a spilled object whose *location* (name + tier) was
+    pushed to the database instead of the data (Algorithm 1 line 7).
+    """
+
+    key: str
+    tier_name: str
+    size_bytes: float
+    node_id: Optional[str]  # writing node; relevant for non-shared tiers
+
+    @property
+    def inline(self) -> bool:
+        return self.tier_name == "kv"
+
+
+class CheckpointStorageRouter:
+    """Routes checkpoint payloads between the KV store and spill tiers."""
+
+    def __init__(
+        self,
+        kv: KeyValueStore,
+        tiers: TierRegistry,
+        *,
+        require_shared_spill: bool = False,
+        custom_endpoint: Optional[str] = None,
+    ) -> None:
+        """
+        Args:
+            kv: The cluster KV store.
+            tiers: Deployment-phase tier hierarchy.
+            require_shared_spill: Force spills onto cluster-visible tiers so
+                checkpoints survive node failures (used by the scaling
+                experiments with node-level failure injection).
+            custom_endpoint: Name of a tier that overrides the hierarchy
+                (e.g. ``"s3"``), matching the custom-endpoint override of
+                §IV-C-4.
+        """
+        self.kv = kv
+        self.tiers = tiers
+        self.require_shared_spill = require_shared_spill
+        self.custom_endpoint = custom_endpoint
+        if custom_endpoint is not None:
+            tiers.get(custom_endpoint)  # validate eagerly
+        self._spilled: dict[str, StoredObjectRef] = {}
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def choose_tier(self, size_bytes: float) -> StorageTier:
+        """Tier that a payload of *size_bytes* would land on."""
+        if self.custom_endpoint is not None:
+            return self.tiers.get(self.custom_endpoint)
+        if self.kv.fits(size_bytes):
+            return self.tiers.get("kv")
+        return self.tiers.fastest_spill_tier(
+            size_bytes, require_shared=self.require_shared_spill
+        )
+
+    def write(
+        self,
+        key: str,
+        payload: Any,
+        *,
+        size_bytes: float,
+        now: float = 0.0,
+        node_id: Optional[str] = None,
+    ) -> tuple[StoredObjectRef, float]:
+        """Store a checkpoint payload; return its ref and the write time."""
+        tier = self.choose_tier(size_bytes)
+        if tier.name == "kv":
+            self.kv.put(
+                key, payload, size_bytes=size_bytes, now=now, home_node=node_id
+            )
+            ref = StoredObjectRef(key, "kv", size_bytes, node_id)
+        else:
+            self.tiers.allocate(tier.name, size_bytes)
+            ref = StoredObjectRef(key, tier.name, size_bytes, node_id)
+            self._spilled[key] = ref
+            # Only the (name, location) pair goes to the KV store/database.
+            self.kv.put(
+                key,
+                {"ckpt_name": key, "ckpt_loc": tier.name},
+                size_bytes=256.0,
+                now=now,
+                home_node=node_id,
+            )
+        return ref, tier.write_time(size_bytes)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def read_time(self, ref: StoredObjectRef) -> float:
+        """Seconds to fetch the payload behind *ref*."""
+        return self.tiers.get(ref.tier_name).read_time(ref.size_bytes)
+
+    def delete(self, ref: StoredObjectRef) -> None:
+        """Drop a stored payload (checkpoint retention eviction)."""
+        self.kv.delete(ref.key)
+        if not ref.inline and ref.key in self._spilled:
+            self.tiers.release(ref.tier_name, ref.size_bytes)
+            del self._spilled[ref.key]
+
+    # ------------------------------------------------------------------
+    # Failure semantics
+    # ------------------------------------------------------------------
+    def on_node_failure(self, node_id: str) -> list[str]:
+        """Drop payloads that lived only on the failed node.
+
+        Returns the keys of lost checkpoints (the recovery path must fall
+        back to an older surviving checkpoint or a full restart).
+        """
+        lost = list(self.kv.on_node_failure(node_id))
+        for key, ref in list(self._spilled.items()):
+            tier = self.tiers.get(ref.tier_name)
+            if not tier.survives_node_failure and ref.node_id == node_id:
+                self.tiers.release(ref.tier_name, ref.size_bytes)
+                del self._spilled[key]
+                self.kv.delete(key)
+                lost.append(key)
+        return lost
+
+    def is_available(self, ref: StoredObjectRef) -> bool:
+        """True while the payload behind *ref* can still be fetched."""
+        if ref.inline:
+            return ref.key in self.kv
+        return ref.key in self._spilled

@@ -1,0 +1,182 @@
+"""Storage tier latency/bandwidth models.
+
+The paper's testbed exposes a hierarchy (§IV-C-4, §V-C-1): the Ignite
+in-memory KV store, Intel Optane PMem in AppDirect mode, Ramdisk, NFS shared
+storage over 10 GbE, and optionally an S3-like external endpoint.  Each tier
+is modeled as ``latency + size / bandwidth`` with published-order-of-magnitude
+constants.  What matters for the reproduction is the *relative* cost of
+writing/restoring checkpoints of different sizes to different tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import StorageCapacityError
+from repro.common.units import GiB, MiB
+
+
+@dataclass(frozen=True)
+class StorageTier:
+    """One storage tier.
+
+    Attributes:
+        name: Tier identifier used by checkpoint records.
+        read_latency_s / write_latency_s: Fixed per-operation latency.
+        read_bandwidth / write_bandwidth: Bytes per second of streaming I/O.
+        shared: Visible from every node (NFS, S3, replicated KV).  Checkpoints
+            on non-shared tiers are lost with their node.
+        survives_node_failure: Data outlives the writing node's crash.
+        capacity_bytes: Total capacity (``float('inf')`` for unbounded).
+    """
+
+    name: str
+    read_latency_s: float
+    write_latency_s: float
+    read_bandwidth: float
+    write_bandwidth: float
+    shared: bool
+    survives_node_failure: bool
+    capacity_bytes: float = float("inf")
+
+    def read_time(self, size_bytes: float) -> float:
+        """Seconds to read *size_bytes* from this tier."""
+        return self.read_latency_s + size_bytes / self.read_bandwidth
+
+    def write_time(self, size_bytes: float) -> float:
+        """Seconds to write *size_bytes* to this tier."""
+        return self.write_latency_s + size_bytes / self.write_bandwidth
+
+
+def _default_tiers() -> tuple[StorageTier, ...]:
+    """The deployment-phase hierarchy of §IV-C-4, fastest first."""
+    return (
+        # Apache Ignite replicated cache: memory-speed but pays replication
+        # on the write path (10 GbE), so write bandwidth is network-bound.
+        StorageTier(
+            name="kv",
+            read_latency_s=0.0005,
+            write_latency_s=0.001,
+            read_bandwidth=4.0 * GiB,
+            write_bandwidth=1.1 * GiB,  # ~10 GbE with replication overhead
+            shared=True,
+            survives_node_failure=True,
+        ),
+        # Intel Optane PMem, AppDirect mode (node-local).
+        StorageTier(
+            name="pmem",
+            read_latency_s=0.0003,
+            write_latency_s=0.0005,
+            read_bandwidth=6.0 * GiB,
+            write_bandwidth=2.0 * GiB,
+            shared=False,
+            survives_node_failure=False,
+        ),
+        # Ramdisk (node-local, volatile).
+        StorageTier(
+            name="ramdisk",
+            read_latency_s=0.0002,
+            write_latency_s=0.0002,
+            read_bandwidth=8.0 * GiB,
+            write_bandwidth=8.0 * GiB,
+            shared=False,
+            survives_node_failure=False,
+        ),
+        # NFS shared storage over 10 GbE.
+        StorageTier(
+            name="nfs",
+            read_latency_s=0.003,
+            write_latency_s=0.005,
+            read_bandwidth=0.9 * GiB,
+            write_bandwidth=0.8 * GiB,
+            shared=True,
+            survives_node_failure=True,
+        ),
+        # External S3-like object store (custom endpoint override).
+        StorageTier(
+            name="s3",
+            read_latency_s=0.030,
+            write_latency_s=0.050,
+            read_bandwidth=200.0 * MiB,
+            write_bandwidth=150.0 * MiB,
+            shared=True,
+            survives_node_failure=True,
+        ),
+    )
+
+
+DEFAULT_TIERS: tuple[StorageTier, ...] = _default_tiers()
+
+
+class TierRegistry:
+    """Orders tiers and tracks per-tier usage.
+
+    The registry is the "storage hierarchy determined at the deployment
+    phase" (§IV-C-4); a custom endpoint can be appended or substituted.
+    """
+
+    def __init__(self, tiers: tuple[StorageTier, ...] = DEFAULT_TIERS) -> None:
+        if not tiers:
+            raise ValueError("at least one storage tier is required")
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        self.tiers = tuple(tiers)
+        self._by_name = {t.name: t for t in tiers}
+        self.used_bytes: dict[str, float] = {t.name: 0.0 for t in tiers}
+        self._allocations: dict[str, int] = {t.name: 0 for t in tiers}
+
+    def get(self, name: str) -> StorageTier:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown storage tier {name!r}; "
+                f"known: {sorted(self._by_name)}"
+            ) from None
+
+    def free_bytes(self, name: str) -> float:
+        tier = self.get(name)
+        return tier.capacity_bytes - self.used_bytes[name]
+
+    def allocate(self, name: str, size_bytes: float) -> None:
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if self.free_bytes(name) < size_bytes:
+            raise StorageCapacityError(
+                f"tier {name!r} full: need {size_bytes:.0f}B, "
+                f"free {self.free_bytes(name):.0f}B"
+            )
+        self.used_bytes[name] += size_bytes
+        self._allocations[name] += 1
+
+    def release(self, name: str, size_bytes: float) -> None:
+        self.get(name)  # validate tier name
+        if self._allocations[name] > 0:
+            self._allocations[name] -= 1
+        remaining = self.used_bytes[name] - size_bytes
+        # An empty tier reads exactly zero; float residue from repeated
+        # add/subtract cycles must not accumulate.
+        if self._allocations[name] == 0 or remaining < 0.0:
+            self.used_bytes[name] = 0.0
+        else:
+            self.used_bytes[name] = remaining
+
+    def fastest_spill_tier(
+        self, size_bytes: float, *, require_shared: bool = False
+    ) -> StorageTier:
+        """First tier after the KV store able to take *size_bytes*.
+
+        Tiers are tried in declaration order (fastest first).  With
+        ``require_shared`` only cluster-visible tiers qualify — used when a
+        checkpoint must survive node failures (fig. 11 experiments).
+        """
+        for tier in self.tiers[1:]:
+            if require_shared and not tier.shared:
+                continue
+            if self.free_bytes(tier.name) >= size_bytes:
+                return tier
+        raise StorageCapacityError(
+            f"no spill tier can take {size_bytes:.0f}B "
+            f"(require_shared={require_shared})"
+        )

@@ -1,0 +1,31 @@
+"""Recovery strategies: the execution scenarios compared in §V.
+
+* ``ideal`` — failure-free baseline (no recovery machinery exercised).
+* ``retry`` — the platform default: failed functions restart cold, from
+  scratch, concurrently.
+* ``canary`` — the paper's contribution: warm replicated runtimes +
+  checkpoint restore.  Ablations expose replication-only and
+  checkpoint-only variants.
+* ``request-replication`` (RR) — every request runs on multiple function
+  instances; first success wins.
+* ``active-standby`` (AS) — one warm passive instance per function adopts
+  on failure (no checkpoints: it restarts the function's work).
+"""
+
+from repro.strategies.active_standby import ActiveStandbyStrategy
+from repro.strategies.base import RecoveryStrategy
+from repro.strategies.canary import CanaryStrategy
+from repro.strategies.factory import make_strategy
+from repro.strategies.ideal import IdealStrategy
+from repro.strategies.request_replication import RequestReplicationStrategy
+from repro.strategies.retry import RetryStrategy
+
+__all__ = [
+    "ActiveStandbyStrategy",
+    "CanaryStrategy",
+    "IdealStrategy",
+    "RecoveryStrategy",
+    "RequestReplicationStrategy",
+    "RetryStrategy",
+    "make_strategy",
+]

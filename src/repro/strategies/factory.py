@@ -1,0 +1,43 @@
+"""Strategy factory."""
+
+from __future__ import annotations
+
+from repro.common.types import RecoveryStrategyName
+from repro.core.context import PlatformContext
+from repro.strategies.active_standby import ActiveStandbyStrategy
+from repro.strategies.base import RecoveryStrategy
+from repro.strategies.canary import (
+    CanaryCheckpointOnlyStrategy,
+    CanaryReplicationOnlyStrategy,
+    CanaryStrategy,
+)
+from repro.strategies.ideal import IdealStrategy
+from repro.strategies.request_replication import RequestReplicationStrategy
+from repro.strategies.retry import RetryStrategy
+
+
+def _sla_strategy(ctx: PlatformContext) -> RecoveryStrategy:
+    # Imported lazily: repro.sla depends on the canary strategy.
+    from repro.sla.strategy import SlaAwareCanaryStrategy
+
+    return SlaAwareCanaryStrategy(ctx)
+
+
+_REGISTRY = {
+    RecoveryStrategyName.IDEAL: IdealStrategy,
+    RecoveryStrategyName.RETRY: RetryStrategy,
+    RecoveryStrategyName.CANARY: CanaryStrategy,
+    RecoveryStrategyName.CANARY_REPLICATION_ONLY: CanaryReplicationOnlyStrategy,
+    RecoveryStrategyName.CANARY_CHECKPOINT_ONLY: CanaryCheckpointOnlyStrategy,
+    RecoveryStrategyName.REQUEST_REPLICATION: RequestReplicationStrategy,
+    RecoveryStrategyName.ACTIVE_STANDBY: ActiveStandbyStrategy,
+    RecoveryStrategyName.CANARY_SLA: _sla_strategy,
+}
+
+
+def make_strategy(
+    name: RecoveryStrategyName | str, ctx: PlatformContext
+) -> RecoveryStrategy:
+    """Instantiate a recovery strategy by name."""
+    name = RecoveryStrategyName(name)
+    return _REGISTRY[name](ctx)

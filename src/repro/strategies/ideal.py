@@ -1,0 +1,47 @@
+"""The ideal scenario: failure-free execution (§V-B).
+
+No replicas, no checkpoints, no failures — the lower bound every other
+scenario is compared against.  The platform is expected to run it with a
+zero error rate; if a failure somehow reaches this strategy (e.g. an
+experiment misconfiguration), it falls back to a plain retry so the run
+still terminates, but flags the event.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import TYPE_CHECKING
+
+from repro.common.types import RecoveryStrategyName
+from repro.strategies.base import RecoveryStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.execution import Attempt, FunctionExecution
+    from repro.metrics.collector import FailureEvent
+
+
+class IdealStrategy(RecoveryStrategy):
+    """Failure-free baseline."""
+
+    name = RecoveryStrategyName.IDEAL
+    checkpoints_enabled = False
+    replication_enabled = False
+
+    def on_failure(
+        self,
+        execution: "FunctionExecution",
+        attempt: "Attempt",
+        event: "FailureEvent",
+    ) -> None:
+        warnings.warn(
+            "IdealStrategy observed a failure — the ideal scenario should "
+            "run with failure injection disabled",
+            stacklevel=2,
+        )
+
+        def _relaunch() -> None:
+            if execution.completed:
+                return
+            execution.request_cold_attempt(from_state=0, via="cold")
+
+        self.after_detection(_relaunch, label=f"ideal:{execution.function_id}")

@@ -1,0 +1,40 @@
+"""The platform-default retry strategy (§II-B).
+
+On failure, the function restarts from scratch in a brand-new container:
+full cold start, full re-execution, no state carried over.  When many
+functions fail at once they all restart concurrently, and the cold-start
+contention model makes that storm progressively more expensive — the paper's
+explanation for retry's near-linear recovery-time growth with error rate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.types import RecoveryStrategyName
+from repro.strategies.base import RecoveryStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.execution import Attempt, FunctionExecution
+    from repro.metrics.collector import FailureEvent
+
+
+class RetryStrategy(RecoveryStrategy):
+    """Restart failed functions from the beginning."""
+
+    name = RecoveryStrategyName.RETRY
+    checkpoints_enabled = False
+    replication_enabled = False
+
+    def on_failure(
+        self,
+        execution: "FunctionExecution",
+        attempt: "Attempt",
+        event: "FailureEvent",
+    ) -> None:
+        def _relaunch() -> None:
+            if execution.completed:
+                return
+            execution.request_cold_attempt(from_state=0, via="cold")
+
+        self.after_detection(_relaunch, label=f"retry:{execution.function_id}")

@@ -1,0 +1,26 @@
+"""The five workload classes of §V-C-2.
+
+Each workload exists in two forms:
+
+* a :class:`~repro.workloads.profiles.WorkloadProfile` — the timing/size
+  structure (states, durations, checkpoint sizes) consumed by the simulator;
+* a *real* Python implementation (``make_*`` factories) — an actual stateful
+  computation run by the local executor through the Canary checkpoint API,
+  used in examples and integration tests.
+"""
+
+from repro.workloads.profiles import (
+    ALL_WORKLOADS,
+    MICRO_WORKLOADS,
+    WORKLOADS_BY_NAME,
+    WorkloadProfile,
+    get_workload,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "MICRO_WORKLOADS",
+    "WORKLOADS_BY_NAME",
+    "WorkloadProfile",
+    "get_workload",
+]

@@ -1,0 +1,83 @@
+"""Synthetic US-census-like dataset + diversity index.
+
+The paper's Spark workload "computes the diversity index at the local and
+national levels over the US census data" (county-level population by
+race/ethnicity).  The real dataset is public but not bundled here, so we
+synthesize a deterministic table with the same shape: one row per county,
+population counts per group.  The diversity measure is the standard USA
+TODAY / Meyer-McIntosh index: the probability that two randomly chosen
+people belong to different groups (1 − Σ pᵢ²).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Census race/ethnicity groups (collapsed, as the diversity index uses).
+GROUPS: tuple[str, ...] = (
+    "white",
+    "black",
+    "hispanic",
+    "asian",
+    "native",
+    "pacific",
+    "two_or_more",
+)
+
+
+@dataclass(frozen=True)
+class CountyRow:
+    """One county's population counts per group."""
+
+    county_id: int
+    state: str
+    populations: tuple[int, ...]  # aligned with GROUPS
+
+    @property
+    def total(self) -> int:
+        return sum(self.populations)
+
+
+def synthesize_census(
+    *, num_counties: int = 256, num_states: int = 50, seed: int = 0
+) -> list[CountyRow]:
+    """Deterministic county table with Dirichlet-mixed group shares."""
+    if num_counties < 1:
+        raise ValueError("num_counties must be at least 1")
+    rng = np.random.default_rng(seed)
+    rows = []
+    # Concentration below 1 yields realistically skewed county mixes.
+    alphas = np.array([8.0, 2.0, 2.5, 1.0, 0.3, 0.1, 0.6])
+    for county_id in range(num_counties):
+        shares = rng.dirichlet(alphas)
+        total = int(rng.integers(1_000, 1_000_000))
+        populations = np.floor(shares * total).astype(int)
+        rows.append(
+            CountyRow(
+                county_id=county_id,
+                state=f"state-{county_id % num_states:02d}",
+                populations=tuple(int(p) for p in populations),
+            )
+        )
+    return rows
+
+
+def diversity_index(populations: tuple[int, ...] | list[int]) -> float:
+    """1 − Σ pᵢ² : probability two random residents differ in group."""
+    total = sum(populations)
+    if total <= 0:
+        return 0.0
+    shares = np.asarray(populations, dtype=float) / total
+    return float(1.0 - np.sum(shares**2))
+
+
+def national_index(rows: list[CountyRow]) -> float:
+    """Diversity index over the aggregated national population."""
+    if not rows:
+        return 0.0
+    aggregate = np.zeros(len(GROUPS), dtype=np.int64)
+    for row in rows:
+        aggregate += np.asarray(row.populations, dtype=np.int64)
+    return diversity_index(tuple(int(p) for p in aggregate))

@@ -1,0 +1,81 @@
+"""Real data-compression workload (SeBS 311.compression, scaled).
+
+Each function zlib-compresses a batch of deterministic synthetic "files",
+checkpointing after each file (the paper uses 50 × ~1 GB files; the local
+executor scales sizes down while keeping the per-file checkpoint cadence).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.executor.context import CheckpointContext
+
+
+def synthesize_file(index: int, size_bytes: int, seed: int = 0) -> bytes:
+    """Deterministic compressible payload for file *index*.
+
+    Mixes random bytes with runs of repeated text so zlib has real work and
+    real wins, like log/CSV archives.
+    """
+    rng = np.random.default_rng((seed << 16) ^ index)
+    noise = rng.integers(0, 256, size=size_bytes // 2, dtype=np.uint8).tobytes()
+    pattern = (f"record-{index:06d};" * 64).encode()
+    runs = pattern * (size_bytes // 2 // len(pattern) + 1)
+    return (noise + runs[: size_bytes // 2])[:size_bytes]
+
+
+@dataclass
+class CompressionResult:
+    files: int
+    compressed_sizes: list[int]
+    total_in: int
+    total_out: int
+    work_units: int  # files actually compressed
+
+    @property
+    def ratio(self) -> float:
+        return self.total_out / self.total_in if self.total_in else 0.0
+
+
+def make_compression(
+    *,
+    num_files: int = 5,
+    file_size_bytes: int = 64 * 1024,
+    level: int = 6,
+    seed: int = 0,
+):
+    """Build ``fn(ctx) -> CompressionResult`` with per-file checkpoints."""
+    if num_files < 1:
+        raise ValueError("num_files must be at least 1")
+
+    def compress(ctx: CheckpointContext) -> CompressionResult:
+        sizes: list[int] = []
+        start = 0
+        work_units = 0
+
+        restored = ctx.restore()
+        if restored is not None:
+            last_file, payload = restored
+            start = last_file + 1
+            sizes = list(payload["sizes"])
+
+        for index in range(start, num_files):
+            data = synthesize_file(index, file_size_bytes, seed)
+            compressed = zlib.compress(data, level)
+            sizes.append(len(compressed))
+            work_units += 1
+            ctx.save(index, {"sizes": sizes})
+
+        return CompressionResult(
+            files=num_files,
+            compressed_sizes=sizes,
+            total_in=num_files * file_size_bytes,
+            total_out=sum(sizes),
+            work_units=work_units,
+        )
+
+    return compress

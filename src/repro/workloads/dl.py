@@ -1,0 +1,82 @@
+"""Real DL-training workload for the local executor.
+
+A stand-in for the paper's ResNet50 training: a deterministic numpy
+gradient-descent loop on a least-squares objective.  What matters for the
+reproduction is the *state structure* — per-epoch weight updates,
+checkpointing weights+epoch after every epoch, resuming from the restored
+weights — not the model architecture.
+
+The returned loss trajectory is bit-identical whether or not failures were
+injected (given Canary recovery), which is what the integration tests
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.executor.context import CheckpointContext
+
+
+@dataclass
+class TrainingResult:
+    """Final state of a training run."""
+
+    epochs_run: int
+    losses: list[float]
+    weights_digest: float
+    work_units: int  # epochs actually computed (recomputation shows up here)
+
+
+def make_dl_training(
+    *,
+    epochs: int = 5,
+    dim: int = 32,
+    samples: int = 64,
+    learning_rate: float = 0.05,
+    seed: int = 0,
+):
+    """Build a stateful training function ``fn(ctx) -> TrainingResult``.
+
+    The function checkpoints ``(epoch, weights, losses)`` after every epoch
+    via ``ctx.save`` and resumes from ``ctx.restore()``.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be at least 1")
+
+    def train(ctx: CheckpointContext) -> TrainingResult:
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(samples, dim))
+        targets = rng.normal(size=(samples,))
+        weights = np.zeros(dim)
+        losses: list[float] = []
+        start_epoch = 0
+        work_units = 0
+
+        restored = ctx.restore()
+        if restored is not None:
+            start_epoch, payload = restored
+            start_epoch += 1  # resume after the checkpointed epoch
+            weights = payload["weights"]
+            losses = list(payload["losses"])
+
+        for epoch in range(start_epoch, epochs):
+            predictions = features @ weights
+            residual = predictions - targets
+            gradient = features.T @ residual / samples
+            weights = weights - learning_rate * gradient
+            losses.append(float(np.mean(residual**2)))
+            work_units += 1
+            ctx.save(epoch, {"weights": weights, "losses": losses})
+
+        return TrainingResult(
+            epochs_run=epochs,
+            losses=losses,
+            weights_digest=float(np.sum(weights**2)),
+            work_units=work_units,
+        )
+
+    return train

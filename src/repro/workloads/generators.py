@@ -1,0 +1,125 @@
+"""Workload/trace generators: arrival processes for multi-job experiments.
+
+The paper submits batches of jobs; a production evaluation also needs
+open-loop arrivals.  These generators produce deterministic job-submission
+traces (Poisson, bursty, or uniform) that the platform replays on the
+virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.jobs import JobRequest
+from repro.workloads.profiles import WorkloadProfile, get_workload
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job submission at a virtual time."""
+
+    at_s: float
+    request: JobRequest
+
+
+def poisson_trace(
+    *,
+    rate_per_s: float,
+    duration_s: float,
+    workloads: Sequence[str],
+    functions_per_job: int = 10,
+    seed: int = 0,
+    mix: Optional[Sequence[float]] = None,
+) -> list[JobArrival]:
+    """Open-loop Poisson job arrivals over ``duration_s`` seconds.
+
+    Args:
+        rate_per_s: Mean job arrival rate.
+        duration_s: Trace horizon.
+        workloads: Workload names to draw from.
+        functions_per_job: Invocations per submitted job.
+        seed: Trace seed (deterministic).
+        mix: Optional workload probabilities (defaults to uniform).
+    """
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if not workloads:
+        raise ValueError("at least one workload is required")
+    profiles = [get_workload(name) for name in workloads]
+    if mix is not None:
+        if len(mix) != len(profiles):
+            raise ValueError("mix length must match workloads")
+        probabilities = np.asarray(mix, dtype=float)
+        probabilities = probabilities / probabilities.sum()
+    else:
+        probabilities = np.full(len(profiles), 1.0 / len(profiles))
+    rng = np.random.default_rng(seed)
+    arrivals: list[JobArrival] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_s))
+        if t >= duration_s:
+            break
+        profile = profiles[int(rng.choice(len(profiles), p=probabilities))]
+        arrivals.append(
+            JobArrival(
+                at_s=t,
+                request=JobRequest(
+                    workload=profile, num_functions=functions_per_job
+                ),
+            )
+        )
+    return arrivals
+
+
+def bursty_trace(
+    *,
+    bursts: int,
+    jobs_per_burst: int,
+    burst_spacing_s: float,
+    workload: str,
+    functions_per_job: int = 10,
+    jitter_s: float = 0.5,
+    seed: int = 0,
+) -> list[JobArrival]:
+    """Bursts of near-simultaneous job submissions (failure-storm shaped)."""
+    if bursts <= 0 or jobs_per_burst <= 0:
+        raise ValueError("bursts and jobs_per_burst must be positive")
+    if burst_spacing_s <= 0:
+        raise ValueError("burst_spacing_s must be positive")
+    profile = get_workload(workload)
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    for burst in range(bursts):
+        base = burst * burst_spacing_s
+        for _ in range(jobs_per_burst):
+            arrivals.append(
+                JobArrival(
+                    at_s=base + float(rng.uniform(0.0, jitter_s)),
+                    request=JobRequest(
+                        workload=profile, num_functions=functions_per_job
+                    ),
+                )
+            )
+    arrivals.sort(key=lambda a: a.at_s)
+    return arrivals
+
+
+def replay_trace(platform, arrivals: Sequence[JobArrival]) -> None:
+    """Schedule every arrival's submission on the platform's clock.
+
+    Submissions that hit the concurrency limit queue exactly as interactive
+    ones do.
+    """
+    for arrival in arrivals:
+        def _submit(request: JobRequest = arrival.request) -> None:
+            platform.submit_job(request)
+
+        platform.sim.call_at(
+            max(arrival.at_s, platform.sim.now), _submit, label="job-arrival"
+        )

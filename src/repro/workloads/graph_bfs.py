@@ -1,0 +1,89 @@
+"""Real graph-BFS workload (SeBS 501.graph-bfs, scaled).
+
+Breadth-first search over an *implicit* complete binary tree (children of
+vertex v are 2v+1 and 2v+2), checkpointing every ``checkpoint_every``
+visited vertices — the paper checkpoints each 1 M vertices of a 50 M-vertex
+tree; the local executor keeps the cadence with smaller trees.  The state
+is the classic BFS frontier plus the visit counter, which is exactly what a
+restore needs to resume mid-traversal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.executor.context import CheckpointContext
+
+
+@dataclass
+class BFSResult:
+    visited: int
+    max_depth: int
+    order_checksum: int
+    work_units: int  # vertices actually expanded
+
+
+def make_bfs(
+    *,
+    num_vertices: int = 1 << 14,
+    checkpoint_every: int = 1 << 11,
+):
+    """Build ``fn(ctx) -> BFSResult`` traversing a binary tree of
+    ``num_vertices`` vertices with periodic frontier checkpoints."""
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be at least 1")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be at least 1")
+
+    def bfs(ctx: CheckpointContext) -> BFSResult:
+        frontier: deque[tuple[int, int]] = deque([(0, 0)])  # (vertex, depth)
+        visited = 0
+        max_depth = 0
+        checksum = 0
+        work_units = 0
+        next_checkpoint = checkpoint_every
+        checkpoint_index = 0
+
+        restored = ctx.restore()
+        if restored is not None:
+            checkpoint_index, payload = restored
+            frontier = deque(payload["frontier"])
+            visited = payload["visited"]
+            max_depth = payload["max_depth"]
+            checksum = payload["checksum"]
+            next_checkpoint = visited + checkpoint_every
+            checkpoint_index += 1
+
+        while frontier and visited < num_vertices:
+            vertex, depth = frontier.popleft()
+            visited += 1
+            work_units += 1
+            max_depth = max(max_depth, depth)
+            # Order-sensitive checksum: any deviation in traversal order
+            # after a restore would change it.
+            checksum = (checksum * 1_000_003 + vertex) % (1 << 61)
+            for child in (2 * vertex + 1, 2 * vertex + 2):
+                if child < num_vertices:
+                    frontier.append((child, depth + 1))
+            if visited >= next_checkpoint and visited < num_vertices:
+                ctx.save(
+                    checkpoint_index,
+                    {
+                        "frontier": list(frontier),
+                        "visited": visited,
+                        "max_depth": max_depth,
+                        "checksum": checksum,
+                    },
+                )
+                checkpoint_index += 1
+                next_checkpoint += checkpoint_every
+
+        return BFSResult(
+            visited=visited,
+            max_depth=max_depth,
+            order_checksum=checksum,
+            work_units=work_units,
+        )
+
+    return bfs

@@ -1,0 +1,155 @@
+"""Real MapReduce workload: the paper's §I motivating example.
+
+"A MapReduce workload launches mappers that process the input data and
+produce intermediate data.  The reducers are launched after successful
+mapper execution and consume mappers output to produce the final result."
+
+Implemented as stateful functions for the local executor: mappers count
+words over document chunks (checkpointing after each chunk), reducers merge
+the mappers' intermediate counts (checkpointing after each mapper's output
+is folded in).  ``run_wordcount`` chains the two stages with the same
+trigger semantics the simulator's WorkflowCoordinator provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.executor.context import CheckpointContext
+from repro.executor.local import FaultPlan, LocalExecutor
+
+VOCABULARY: tuple[str, ...] = (
+    "faas", "canary", "checkpoint", "replica", "runtime", "failure",
+    "recovery", "stateful", "container", "trigger", "cluster", "latency",
+)
+
+
+def synthesize_documents(
+    *, num_docs: int = 40, words_per_doc: int = 200, seed: int = 0
+) -> list[list[str]]:
+    """Deterministic corpus with a skewed word distribution."""
+    if num_docs < 1 or words_per_doc < 1:
+        raise ValueError("num_docs and words_per_doc must be positive")
+    rng = np.random.default_rng(seed)
+    weights = np.arange(len(VOCABULARY), 0, -1, dtype=float)
+    weights /= weights.sum()
+    return [
+        [
+            VOCABULARY[int(i)]
+            for i in rng.choice(len(VOCABULARY), size=words_per_doc, p=weights)
+        ]
+        for _ in range(num_docs)
+    ]
+
+
+def exact_wordcount(documents: Sequence[Sequence[str]]) -> dict[str, int]:
+    """Reference single-pass count (ground truth for tests)."""
+    counts: dict[str, int] = {}
+    for document in documents:
+        for word in document:
+            counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+def make_mapper(documents: Sequence[Sequence[str]], *, chunk_size: int = 4):
+    """Stateful mapper: counts words chunk-by-chunk with checkpoints."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+
+    def mapper(ctx: CheckpointContext) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        start = 0
+        restored = ctx.restore()
+        if restored is not None:
+            last_chunk, payload = restored
+            start = last_chunk + 1
+            counts = dict(payload)
+        chunks = [
+            documents[i : i + chunk_size]
+            for i in range(0, len(documents), chunk_size)
+        ]
+        for index in range(start, len(chunks)):
+            for document in chunks[index]:
+                for word in document:
+                    counts[word] = counts.get(word, 0) + 1
+            ctx.save(index, counts)
+        return counts
+
+    return mapper
+
+
+def make_reducer(intermediate: Sequence[dict[str, int]]):
+    """Stateful reducer: folds mapper outputs one at a time."""
+
+    def reducer(ctx: CheckpointContext) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        start = 0
+        restored = ctx.restore()
+        if restored is not None:
+            last_index, payload = restored
+            start = last_index + 1
+            totals = dict(payload)
+        for index in range(start, len(intermediate)):
+            for word, count in intermediate[index].items():
+                totals[word] = totals.get(word, 0) + count
+            ctx.save(index, totals)
+        return totals
+
+    return reducer
+
+
+@dataclass
+class WordCountResult:
+    counts: dict[str, int]
+    mapper_attempts: dict[str, int]
+    reducer_attempts: int
+    total_kills: int
+
+
+def run_wordcount(
+    *,
+    num_mappers: int = 4,
+    documents: Optional[list[list[str]]] = None,
+    strategy: str = "canary",
+    fault_plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+) -> WordCountResult:
+    """Run the two-stage MapReduce: mappers, then (triggered) the reducer.
+
+    The reduce stage launches only after every mapper completed — the
+    paper's trigger semantics — and inherits the same executor (and
+    therefore the same fault plan and recovery strategy).
+    """
+    if num_mappers < 1:
+        raise ValueError("num_mappers must be positive")
+    documents = documents or synthesize_documents(seed=seed)
+    shards = np.array_split(np.arange(len(documents)), num_mappers)
+    executor = LocalExecutor(strategy=strategy, fault_plan=fault_plan,
+                             max_workers=num_mappers)
+
+    map_stage = {
+        f"mapper-{i}": make_mapper(
+            [documents[int(j)] for j in shard]
+        )
+        for i, shard in enumerate(shards)
+    }
+    map_results = executor.run_job(map_stage)
+
+    intermediate = [
+        map_results[f"mapper-{i}"].value for i in range(num_mappers)
+    ]
+    reduce_result = executor.run_function(
+        "reducer-0", make_reducer(intermediate)
+    )
+    return WordCountResult(
+        counts=reduce_result.value,
+        mapper_attempts={
+            fid: result.attempts for fid, result in map_results.items()
+        },
+        reducer_attempts=reduce_result.attempts,
+        total_kills=sum(r.kills for r in map_results.values())
+        + reduce_result.kills,
+    )

@@ -1,0 +1,80 @@
+"""Real Spark-style data-mining workload: census diversity indices.
+
+Map/reduce structure matching the paper's Spark job: the county table is
+split into partitions; each partition maps counties to local diversity
+indices, the running aggregate is checkpointed after every partition
+("a checkpoint is collected when the output for each location is computed
+and aggregated with the existing results", §V-C-2), and the reduce step
+computes the national index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.executor.context import CheckpointContext
+from repro.workloads.census import (
+    GROUPS,
+    CountyRow,
+    diversity_index,
+    synthesize_census,
+)
+
+
+@dataclass
+class DiversityResult:
+    counties: int
+    partitions: int
+    local_indices: dict[int, float]   # county_id -> index
+    national_index: float
+    work_units: int  # partitions actually processed
+
+
+def make_diversity_job(
+    *,
+    num_counties: int = 128,
+    partitions: int = 8,
+    seed: int = 0,
+):
+    """Build ``fn(ctx) -> DiversityResult`` over a synthetic census table."""
+    if partitions < 1:
+        raise ValueError("partitions must be at least 1")
+
+    def mine(ctx: CheckpointContext) -> DiversityResult:
+        rows = synthesize_census(num_counties=num_counties, seed=seed)
+        chunks = np.array_split(np.arange(len(rows)), partitions)
+        local: dict[int, float] = {}
+        aggregate = np.zeros(len(GROUPS), dtype=np.int64)
+        start = 0
+        work_units = 0
+
+        restored = ctx.restore()
+        if restored is not None:
+            last_partition, payload = restored
+            start = last_partition + 1
+            local = dict(payload["local"])
+            aggregate = np.asarray(payload["aggregate"], dtype=np.int64)
+
+        for part in range(start, partitions):
+            for row_index in chunks[part]:
+                row: CountyRow = rows[int(row_index)]
+                local[row.county_id] = diversity_index(row.populations)
+                aggregate += np.asarray(row.populations, dtype=np.int64)
+            work_units += 1
+            ctx.save(
+                part,
+                {"local": local, "aggregate": aggregate.tolist()},
+            )
+
+        national = diversity_index(tuple(int(p) for p in aggregate))
+        return DiversityResult(
+            counties=num_counties,
+            partitions=partitions,
+            local_indices=local,
+            national_index=national,
+            work_units=work_units,
+        )
+
+    return mine

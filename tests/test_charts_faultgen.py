@@ -1,0 +1,126 @@
+"""Tests for terminal charts and the random fault-plan generator."""
+
+import pytest
+
+from repro.executor.faultgen import random_fault_plan
+from repro.executor.local import LocalExecutor
+from repro.experiments.charts import bar_chart, comparison_chart, series_chart
+from repro.experiments.report import FigureResult
+from repro.workloads.compression import make_compression
+
+
+class TestBarChart:
+    def test_renders_all_labels_and_values(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], title="t", unit="s")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert " a " in lines[1] or lines[1].startswith(" a")
+        assert "2.00s" in lines[2]
+
+    def test_largest_value_fills_width(self):
+        text = bar_chart(["x", "y"], [1.0, 4.0], width=8)
+        assert "████████" in text
+
+    def test_zero_values(self):
+        text = bar_chart(["x"], [0.0])
+        assert "0.00" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="empty") == "empty"
+
+
+def demo_result():
+    return FigureResult(
+        figure="demo",
+        title="demo",
+        columns=("strategy", "error_rate", "makespan_s"),
+        rows=[
+            {"strategy": "retry", "error_rate": 0.1, "makespan_s": 10.0},
+            {"strategy": "retry", "error_rate": 0.5, "makespan_s": 40.0},
+            {"strategy": "canary", "error_rate": 0.1, "makespan_s": 11.0},
+            {"strategy": "canary", "error_rate": 0.5, "makespan_s": 12.0},
+        ],
+    )
+
+
+class TestSeriesChart:
+    def test_groups_by_series(self):
+        text = series_chart(
+            demo_result(), x="error_rate", y="makespan_s", series="strategy"
+        )
+        assert "strategy=retry" in text
+        assert "strategy=canary" in text
+        assert "40.00" in text
+
+    def test_missing_columns_raise(self):
+        with pytest.raises(ValueError):
+            series_chart(
+                demo_result(), x="nope", y="nope", series="nope"
+            )
+
+    def test_comparison_chart_filters(self):
+        text = comparison_chart(
+            demo_result(),
+            metric="makespan_s",
+            key="strategy",
+            match={"error_rate": 0.5},
+        )
+        assert "retry" in text and "canary" in text
+        assert "40.00" in text and "12.00" in text
+
+
+class TestRandomFaultPlan:
+    STATES = {f"f{i}": 5 for i in range(10)}
+
+    def test_deterministic(self):
+        a = random_fault_plan(self.STATES, error_rate=0.3, seed=1)
+        b = random_fault_plan(self.STATES, error_rate=0.3, seed=1)
+        assert a._pending == b._pending
+
+    def test_victim_count(self):
+        plan = random_fault_plan(self.STATES, error_rate=0.3, seed=2)
+        assert len(plan._pending) == 3
+
+    def test_nonzero_rate_picks_at_least_one(self):
+        plan = random_fault_plan(self.STATES, error_rate=0.01, seed=0)
+        assert len(plan._pending) == 1
+
+    def test_zero_rate_empty(self):
+        plan = random_fault_plan(self.STATES, error_rate=0.0)
+        assert plan._pending == {}
+
+    def test_kill_states_within_bounds(self):
+        plan = random_fault_plan(
+            self.STATES, error_rate=1.0, seed=3, max_kills_per_function=3
+        )
+        for fid, states in plan._pending.items():
+            assert states == sorted(states)
+            assert all(0 <= s < self.STATES[fid] for s in states)
+            assert len(set(states)) == len(states)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            random_fault_plan(self.STATES, error_rate=2.0)
+        with pytest.raises(ValueError):
+            random_fault_plan(
+                self.STATES, error_rate=0.5, max_kills_per_function=0
+            )
+        with pytest.raises(ValueError):
+            random_fault_plan({"f": 0}, error_rate=0.5)
+
+    def test_plan_drives_real_executor(self):
+        states = {f"job-{i}": 4 for i in range(6)}
+        plan = random_fault_plan(states, error_rate=0.5, seed=7)
+        executor = LocalExecutor(strategy="canary", fault_plan=plan)
+        functions = {
+            fid: make_compression(num_files=4, file_size_bytes=2048, seed=i)
+            for i, fid in enumerate(sorted(states))
+        }
+        results = executor.run_job(functions)
+        killed = [fid for fid, r in results.items() if r.kills > 0]
+        assert len(killed) == 3
+        assert all(r.value.files == 4 for r in results.values())

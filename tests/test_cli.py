@@ -1,0 +1,103 @@
+"""Tests for the canary-sim CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "dl-training"
+        assert args.strategy == "canary"
+        assert args.error_rate == 0.15
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "bogus"])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "bogus"])
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dl-training", "web-service", "spark-mining",
+                     "compression", "graph-bfs"):
+            assert name in out
+
+    def test_strategies_lists_all(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ideal", "retry", "canary", "request-replication",
+                     "active-standby", "canary-sla"):
+            assert name in out
+
+    def test_run_human_readable(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload", "graph-bfs",
+                "--strategy", "canary",
+                "--functions", "20",
+                "--nodes", "4",
+                "--error-rate", "0.2",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "20/20 completed" in out
+        assert "$" in out
+
+    def test_run_json(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload", "graph-bfs",
+                "--strategy", "retry",
+                "--functions", "10",
+                "--nodes", "2",
+                "--error-rate", "0.2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"] == "retry"
+        assert payload["completed"] == 10
+        assert payload["failures"] == 2
+
+    def test_run_with_node_failures(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload", "graph-bfs",
+                "--functions", "20",
+                "--nodes", "4",
+                "--error-rate", "0.1",
+                "--node-failures", "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] == 20
+
+    def test_figure_fast(self, capsys):
+        # fig7 with the fast flag regenerates quickly.
+        code = main(["figure", "fig7", "--fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "canary" in out

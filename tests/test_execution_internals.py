@@ -1,0 +1,153 @@
+"""White-box tests of the execution state machine's internals."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import RuntimeKind
+from repro.common.units import KiB, mb
+from repro.core.canary import CanaryPlatform
+from repro.core.jobs import JobRequest
+from repro.workloads.profiles import WorkloadProfile
+
+from tests.conftest import TINY, build_platform
+
+
+def start_single_execution(platform, workload=TINY):
+    job = platform.submit_job(JobRequest(workload=workload, num_functions=1))
+    return job.executions[0]
+
+
+class TestStateDurations:
+    def test_zero_jitter_gives_constant_durations(self):
+        platform = build_platform(strategy="ideal")
+        execution = start_single_execution(platform)
+        assert np.allclose(execution._base_durations, TINY.state_duration_s)
+
+    def test_jitter_floor_prevents_negative_durations(self):
+        noisy = WorkloadProfile(
+            name="noisy",
+            runtime=RuntimeKind.PYTHON,
+            n_states=50,
+            state_duration_s=1.0,
+            state_jitter=0.9,
+            checkpoint_size_bytes=KiB,
+            serialize_overhead_s=0.0,
+            finish_s=0.0,
+            memory_bytes=mb(128),
+        )
+        platform = build_platform(strategy="ideal")
+        execution = start_single_execution(platform, workload=noisy)
+        assert (execution._base_durations >= 0.05 * 1.0 - 1e-12).all()
+
+    def test_durations_differ_across_functions(self):
+        jittery = WorkloadProfile(
+            name="jittery",
+            runtime=RuntimeKind.PYTHON,
+            n_states=6,
+            state_duration_s=2.0,
+            state_jitter=0.2,
+            checkpoint_size_bytes=KiB,
+            serialize_overhead_s=0.0,
+            finish_s=0.0,
+            memory_bytes=mb(128),
+        )
+        platform = build_platform(strategy="ideal")
+        job = platform.submit_job(
+            JobRequest(workload=jittery, num_functions=2)
+        )
+        a, b = job.executions
+        assert list(a._base_durations) != list(b._base_durations)
+
+
+class TestPlannedDuration:
+    def test_planned_duration_predicts_actual(self):
+        platform = build_platform(strategy="canary")
+        execution = start_single_execution(platform)
+        # Let the attempt start its states, then compare the projection
+        # with the actual remaining wall time.
+        platform.run(until=6.0)
+        attempt = execution.live_attempts()[0]
+        planned = execution.planned_remaining_duration(attempt)
+        projected_end = platform.sim.now + planned
+        platform.run()
+        assert execution.completed
+        # Zero jitter + no failures: the projection is near-exact (only
+        # the partial in-flight state makes it slightly conservative).
+        assert execution.completed_at == pytest.approx(
+            projected_end, rel=0.25
+        )
+        assert execution.completed_at <= projected_end + 1e-9
+
+    def test_estimated_remaining_work_monotone(self):
+        platform = build_platform(strategy="canary")
+        execution = start_single_execution(platform)
+        estimates = [
+            execution.estimated_remaining_work_s(i)
+            for i in range(TINY.n_states + 1)
+        ]
+        assert all(a > b for a, b in zip(estimates, estimates[1:]))
+        assert estimates[-1] == pytest.approx(TINY.finish_s)
+
+
+class TestAttemptProgress:
+    def test_continuous_progress_counts_partial_state(self):
+        platform = build_platform(strategy="ideal")
+        execution = start_single_execution(platform)
+        # Stop mid-state (7.2s lands inside a state window after the cold
+        # start on every node speed in the default mix).
+        platform.run(until=7.2)
+        live = execution.live_attempts()
+        assert live
+        attempt = live[0]
+        progress = attempt.continuous_progress(platform.sim.now)
+        fraction = progress - attempt.completed_states
+        assert 0.0 < fraction < 1.0
+        assert attempt.completed_states >= 1
+
+    def test_progress_capped_below_next_integer(self):
+        platform = build_platform(strategy="ideal")
+        execution = start_single_execution(platform)
+        platform.run(until=8.0)
+        live = execution.live_attempts()
+        if live:
+            attempt = live[0]
+            # Even at the very end of a state window the fraction stays <1.
+            assert attempt.continuous_progress(1e9) < attempt.completed_states + 1
+
+
+class TestMigration:
+    def test_migrate_moves_to_another_node(self):
+        platform = build_platform(strategy="canary", num_nodes=4)
+        execution = start_single_execution(platform)
+        platform.run(until=8.0)  # past first state + checkpoint
+        attempt = execution.live_attempts()[0]
+        source = attempt.container.node
+        assert execution.migrate(attempt)
+        platform.run()
+        assert execution.completed
+        final = execution.attempts[-1]
+        assert final.via in ("migration",)
+        assert final.container.node is not source
+
+    def test_migrate_resumes_from_checkpoint(self):
+        platform = build_platform(strategy="canary", num_nodes=4)
+        execution = start_single_execution(platform)
+        platform.run(until=8.0)
+        attempt = execution.live_attempts()[0]
+        progress_before = attempt.completed_states
+        assert progress_before >= 1
+        execution.migrate(attempt)
+        platform.run()
+        final = execution.attempts[-1]
+        # Resumed at the state after the last checkpoint, not from zero.
+        assert final.from_state == progress_before
+
+    def test_migrate_refuses_non_running_attempts(self):
+        platform = build_platform(strategy="canary")
+        execution = start_single_execution(platform)
+        platform.run(until=1.0)  # still cold-starting
+        # No live attempt exists yet; nothing to migrate.
+        assert execution.live_attempts() == []
+        platform.run()
+        done_attempt = execution.attempts[-1]
+        assert not execution.migrate(done_attempt)  # already finished

@@ -1,0 +1,194 @@
+"""Tests for the real local executor: store, context, recovery semantics."""
+
+import pytest
+
+from repro.common.units import KiB
+from repro.executor.context import CheckpointContext, FunctionKilled
+from repro.executor.local import FaultPlan, LocalExecutor
+from repro.executor.store import RealCheckpointStore
+
+
+def counting_function(n_states=5, log=None):
+    """A simple stateful function: accumulates state indices."""
+
+    def fn(ctx: CheckpointContext):
+        acc = []
+        start = 0
+        restored = ctx.restore()
+        if restored is not None:
+            last, payload = restored
+            start = last + 1
+            acc = list(payload)
+        for i in range(start, n_states):
+            acc.append(i)
+            if log is not None:
+                log.append(i)
+            ctx.save(i, acc)
+        return acc
+
+    return fn
+
+
+class TestRealCheckpointStore:
+    def test_save_restore_roundtrip(self):
+        store = RealCheckpointStore()
+        store.save("f1", 0, {"x": [1, 2, 3]})
+        state, payload = store.restore("f1")
+        assert state == 0
+        assert payload == {"x": [1, 2, 3]}
+
+    def test_restore_returns_latest(self):
+        store = RealCheckpointStore()
+        for i in range(4):
+            store.save("f1", i, i * 10)
+        state, payload = store.restore("f1")
+        assert (state, payload) == (3, 30)
+
+    def test_retention_evicts_oldest(self):
+        store = RealCheckpointStore(retention=2)
+        for i in range(5):
+            store.save("f1", i, i)
+        assert store.chain_length("f1") == 2
+
+    def test_restore_unknown_function(self):
+        assert RealCheckpointStore().restore("ghost") is None
+
+    def test_drop(self):
+        store = RealCheckpointStore()
+        store.save("f1", 0, "x")
+        store.drop("f1")
+        assert store.restore("f1") is None
+        assert store.kv.used_bytes == 0.0
+
+    def test_large_payload_spills(self):
+        store = RealCheckpointStore(db_limit_bytes=1 * KiB)
+        blob = list(range(10_000))
+        store.save("f1", 0, blob)
+        assert store.spilled == 1
+        state, payload = store.restore("f1")
+        assert payload == blob
+
+    def test_invalid_retention(self):
+        with pytest.raises(ValueError):
+            RealCheckpointStore(retention=0)
+
+
+class TestFaultPlan:
+    def test_each_kill_fires_once(self):
+        plan = FaultPlan({"f1": [2]})
+        assert not plan.should_kill("f1", 0)
+        assert plan.should_kill("f1", 2)
+        assert not plan.should_kill("f1", 2)
+        assert plan.kills_fired == 1
+
+    def test_kills_fire_in_order(self):
+        plan = FaultPlan({"f1": [3, 1]})
+        assert plan.should_kill("f1", 1)
+        assert plan.should_kill("f1", 3)
+
+    def test_unknown_function_never_killed(self):
+        assert not FaultPlan({"f1": [0]}).should_kill("f2", 0)
+
+
+class TestLocalExecutorCanary:
+    def test_failure_free_run(self):
+        executor = LocalExecutor(strategy="canary")
+        result = executor.run_function("f1", counting_function())
+        assert result.value == [0, 1, 2, 3, 4]
+        assert result.attempts == 1
+        assert result.kills == 0
+        assert not result.recovered_via_checkpoint
+
+    def test_kill_and_resume_from_checkpoint(self):
+        log = []
+        executor = LocalExecutor(
+            strategy="canary", fault_plan=FaultPlan({"f1": [3]})
+        )
+        result = executor.run_function("f1", counting_function(log=log))
+        assert result.value == [0, 1, 2, 3, 4]
+        assert result.attempts == 2
+        assert result.kills == 1
+        assert result.recovered_via_checkpoint
+        # States 0..2 were checkpointed before the kill at 3; only 3 is
+        # recomputed (plus 4 which never ran).
+        assert log == [0, 1, 2, 3, 3, 4]
+
+    def test_result_identical_with_and_without_failures(self):
+        clean = LocalExecutor(strategy="canary").run_function(
+            "f1", counting_function()
+        )
+        faulty = LocalExecutor(
+            strategy="canary", fault_plan=FaultPlan({"f1": [1, 3]})
+        ).run_function("f1", counting_function())
+        assert clean.value == faulty.value
+        assert faulty.attempts == 3
+
+    def test_checkpoints_dropped_after_completion(self):
+        executor = LocalExecutor(strategy="canary")
+        executor.run_function("f1", counting_function())
+        assert executor.store.restore("f1") is None
+
+
+class TestLocalExecutorRetry:
+    def test_kill_restarts_from_scratch(self):
+        log = []
+        executor = LocalExecutor(
+            strategy="retry", fault_plan=FaultPlan({"f1": [3]})
+        )
+        result = executor.run_function("f1", counting_function(log=log))
+        assert result.value == [0, 1, 2, 3, 4]
+        assert result.attempts == 2
+        assert not result.recovered_via_checkpoint
+        # Everything before the kill is recomputed.
+        assert log == [0, 1, 2, 3, 0, 1, 2, 3, 4]
+
+    def test_retry_recomputes_more_than_canary(self):
+        def run(strategy):
+            log = []
+            LocalExecutor(
+                strategy=strategy, fault_plan=FaultPlan({"f1": [4]})
+            ).run_function("f1", counting_function(n_states=6, log=log))
+            return len(log)
+
+        assert run("canary") < run("retry")
+
+
+class TestLocalExecutorMisc:
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            LocalExecutor(strategy="bogus")
+
+    def test_max_attempts_guard(self):
+        def always_dies(ctx):
+            ctx.guard(0)
+            return "unreachable"
+
+        class KillForever:
+            kills_fired = 0
+
+            def should_kill(self, function_id, state_index):
+                return True
+
+        executor = LocalExecutor(strategy="canary", max_attempts=3)
+        executor.fault_plan = KillForever()
+        with pytest.raises(RuntimeError, match="exceeded"):
+            executor.run_function("f1", always_dies)
+
+    def test_run_job_threads(self):
+        executor = LocalExecutor(
+            strategy="canary",
+            fault_plan=FaultPlan({"f1": [2], "f3": [0]}),
+            max_workers=4,
+        )
+        functions = {
+            f"f{i}": counting_function(n_states=4) for i in range(6)
+        }
+        results = executor.run_job(functions)
+        assert set(results) == set(functions)
+        assert all(r.value == [0, 1, 2, 3] for r in results.values())
+        assert results["f1"].kills == 1
+        assert results["f3"].kills == 1
+        assert results["f0"].kills == 0
+
+    def test_run_job_empty(self):
+        assert LocalExecutor().run_job({}) == {}

@@ -1,0 +1,101 @@
+"""Tiny-scale smoke tests for every figure module's row/note generation."""
+
+import pytest
+
+from repro.experiments import (
+    fig04_runtimes,
+    fig05,
+    fig06,
+    fig08,
+    fig10,
+    fig11,
+)
+
+
+class TestFig04Runtimes:
+    def test_rows_and_notes(self):
+        result = fig04_runtimes.run(seeds=(0,), num_functions=20)
+        assert len(result.rows) == 6  # 3 runtimes x 2 strategies
+        assert len(result.notes) == 3
+        for runtime in ("python", "nodejs", "java"):
+            assert result.value(
+                "mean_recovery_s", runtime=runtime, strategy="canary"
+            ) < result.value(
+                "mean_recovery_s", runtime=runtime, strategy="retry"
+            )
+
+
+class TestFig05:
+    def test_rows_and_notes(self):
+        result = fig05.run(
+            seeds=(0,), invocations=(50, 100), workloads=("graph-bfs",)
+        )
+        assert len(result.rows) == 6  # 3 strategies x 2 scales
+        assert any("graph-bfs" in n for n in result.notes)
+        assert (
+            result.value(
+                "total_recovery_s",
+                workload="graph-bfs",
+                strategy="ideal",
+                invocations=50,
+            )
+            == 0.0
+        )
+
+
+class TestFig06:
+    def test_ablation_columns_present(self):
+        result = fig06.run(
+            seeds=(0,), error_rates=(0.2,), workloads=("graph-bfs",),
+            num_functions=20,
+        )
+        strategies = {r["strategy"] for r in result.rows}
+        assert strategies == {
+            "retry",
+            "canary-checkpoint-only",
+            "canary",
+        }
+        assert any("near-constant" in n for n in result.notes)
+
+
+class TestFig08:
+    def test_cost_notes(self):
+        result = fig08.run(
+            seeds=(0,), error_rates=(0.1, 0.5), num_functions=20,
+            workload="graph-bfs",
+        )
+        assert any("cheaper" in n for n in result.notes)
+        retry_costs = [
+            result.value("cost_usd", strategy="retry", error_rate=e)
+            for e in (0.1, 0.5)
+        ]
+        assert retry_costs[1] > retry_costs[0]
+
+
+class TestFig10:
+    def test_ratio_notes(self):
+        result = fig10.run(
+            seeds=(0,), error_rates=(0.2,), num_functions=20,
+            workload="graph-bfs",
+        )
+        assert any("RR cost" in n for n in result.notes)
+        canary = result.value("cost_usd", strategy="canary", error_rate=0.2)
+        rr = result.value(
+            "cost_usd", strategy="request-replication", error_rate=0.2
+        )
+        assert rr > canary
+
+
+class TestFig11:
+    def test_node_failure_scaling(self):
+        result = fig11.run(seeds=(0,), invocations=(100, 200))
+        assert fig11.node_failures_for(200) == 1
+        assert fig11.node_failures_for(800) == 2
+        retry = result.value(
+            "mean_recovery_s", strategy="retry", invocations=100
+        )
+        canary = result.value(
+            "mean_recovery_s", strategy="canary", invocations=100
+        )
+        assert canary < retry
+        assert any("paper" in n for n in result.notes)

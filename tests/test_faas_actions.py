@@ -1,0 +1,116 @@
+"""Tests for the OpenWhisk-style actions/triggers/rules registry."""
+
+import pytest
+
+from repro.common.types import RuntimeKind
+from repro.faas.actions import (
+    ActionError,
+    ActionRegistry,
+    ActionSpec,
+    RuleSpec,
+    TriggerSpec,
+)
+
+
+def make_registry(handler=None):
+    registry = ActionRegistry()
+    registry.create_action(
+        ActionSpec(
+            name="wordcount",
+            runtime=RuntimeKind.PYTHON,
+            handler=handler,
+        )
+    )
+    return registry
+
+
+class TestCreation:
+    def test_duplicate_action_rejected(self):
+        registry = make_registry()
+        with pytest.raises(ActionError):
+            registry.create_action(
+                ActionSpec(name="wordcount", runtime=RuntimeKind.PYTHON)
+            )
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ActionSpec(name="", runtime=RuntimeKind.PYTHON)
+        with pytest.raises(ValueError):
+            ActionSpec(name="a", runtime=RuntimeKind.PYTHON, memory_bytes=0)
+        with pytest.raises(ValueError):
+            ActionSpec(name="a", runtime=RuntimeKind.PYTHON, timeout_s=0)
+        with pytest.raises(ValueError):
+            TriggerSpec(name="")
+
+    def test_rule_requires_existing_endpoints(self):
+        registry = make_registry()
+        with pytest.raises(ActionError, match="unknown trigger"):
+            registry.create_rule(
+                RuleSpec(name="r", trigger="ghost", action="wordcount")
+            )
+        registry.create_trigger(TriggerSpec(name="upload"))
+        with pytest.raises(ActionError, match="unknown action"):
+            registry.create_rule(
+                RuleSpec(name="r", trigger="upload", action="ghost")
+            )
+
+    def test_delete_action_blocked_by_rules(self):
+        registry = make_registry()
+        registry.create_trigger(TriggerSpec(name="upload"))
+        registry.create_rule(
+            RuleSpec(name="r", trigger="upload", action="wordcount")
+        )
+        with pytest.raises(ActionError, match="still bound"):
+            registry.delete_action("wordcount")
+
+    def test_delete_unbound_action(self):
+        registry = make_registry()
+        registry.delete_action("wordcount")
+        assert registry.actions() == []
+
+
+class TestInvocation:
+    def test_invoke_runs_handler(self):
+        calls = []
+        registry = make_registry(handler=lambda **kw: calls.append(kw) or 42)
+        assert registry.invoke("wordcount", doc="hello") == 42
+        assert calls == [{"doc": "hello"}]
+
+    def test_invoke_metadata_only_action_fails(self):
+        registry = make_registry(handler=None)
+        with pytest.raises(ActionError, match="no local handler"):
+            registry.invoke("wordcount")
+
+    def test_unknown_action_error_lists_known(self):
+        registry = make_registry()
+        with pytest.raises(ActionError, match="wordcount"):
+            registry.action("ghost")
+
+    def test_fire_trigger_invokes_all_bound_actions(self):
+        registry = ActionRegistry()
+        results = []
+        for name in ("a", "b"):
+            registry.create_action(
+                ActionSpec(
+                    name=name,
+                    runtime=RuntimeKind.PYTHON,
+                    handler=lambda name=name, **kw: results.append(name),
+                )
+            )
+        registry.create_trigger(TriggerSpec(name="tick"))
+        registry.create_rule(RuleSpec(name="r1", trigger="tick", action="a"))
+        registry.create_rule(RuleSpec(name="r2", trigger="tick", action="b"))
+        activations = registry.fire_trigger("tick", payload=1)
+        assert results == ["a", "b"]
+        assert len(activations) == 2
+        assert all(a.invoked for a in activations)
+        assert registry.activations()[0].params == {"payload": 1}
+
+    def test_fire_unknown_trigger(self):
+        with pytest.raises(ActionError):
+            ActionRegistry().fire_trigger("ghost")
+
+    def test_fire_unbound_trigger_is_empty(self):
+        registry = ActionRegistry()
+        registry.create_trigger(TriggerSpec(name="tick"))
+        assert registry.fire_trigger("tick") == []

@@ -1,0 +1,112 @@
+"""Tests for asynchronous checkpoint flushing (§IV-C-4-b)."""
+
+import pytest
+
+from repro.checkpoint.module import CheckpointingModule
+from repro.common.units import mb
+from repro.core.canary import CanaryPlatform
+from repro.core.database import CanaryDatabase
+from repro.core.ids import IdGenerator
+from repro.core.jobs import JobRequest
+from repro.storage.kvstore import KeyValueStore
+from repro.storage.router import CheckpointStorageRouter
+from repro.storage.tiers import TierRegistry
+
+from tests.conftest import TINY
+
+
+def make_module(flush_lag_s):
+    kv = KeyValueStore()
+    router = CheckpointStorageRouter(kv, TierRegistry())
+    db = CanaryDatabase()
+    db.job_info.insert({"job_id": "j1"})
+    db.function_info.insert({"function_id": "f1", "job_id": "j1"})
+    return CheckpointingModule(
+        router, db, IdGenerator(), flush_lag_s=flush_lag_s
+    )
+
+
+def record(module, index, now, node="node-00"):
+    rec, _ = module.record_state(
+        job_id="j1",
+        function_id="f1",
+        state_index=index,
+        size_bytes=mb(1),
+        serialize_overhead_s=0.0,
+        now=now,
+        node_id=node,
+    )
+    return rec
+
+
+class TestFlushLagUnit:
+    def test_invalid_lag(self):
+        with pytest.raises(ValueError):
+            make_module(flush_lag_s=-1.0)
+
+    def test_zero_lag_survives_node_failure(self):
+        module = make_module(flush_lag_s=0.0)
+        newest = record(module, 0, now=10.0)
+        assert module.on_node_failure("node-00", now=10.5) == []
+        assert module.latest("f1") is newest
+
+    def test_unflushed_checkpoint_dies_with_node(self):
+        module = make_module(flush_lag_s=5.0)
+        old = record(module, 0, now=0.0)   # durable at 5.0
+        new = record(module, 1, now=10.0)  # durable at 15.0
+        lost = module.on_node_failure("node-00", now=11.0)
+        assert lost == [new.checkpoint_id]
+        # Restore falls back to the older, flushed generation.
+        assert module.latest("f1") is old
+        assert module.restores_fallback == 1
+
+    def test_flushed_checkpoints_survive(self):
+        module = make_module(flush_lag_s=5.0)
+        newest = record(module, 0, now=0.0)
+        assert module.on_node_failure("node-00", now=100.0) == []
+        assert module.latest("f1") is newest
+
+    def test_other_nodes_checkpoints_unaffected(self):
+        module = make_module(flush_lag_s=5.0)
+        mine = record(module, 0, now=0.0, node="node-01")
+        assert module.on_node_failure("node-00", now=1.0) == []
+        assert module.latest("f1") is mine
+
+    def test_db_marks_lost_checkpoints_unavailable(self):
+        module = make_module(flush_lag_s=5.0)
+        rec = record(module, 0, now=0.0)
+        module.on_node_failure("node-00", now=1.0)
+        row = module.database.checkpoint_info.get(rec.checkpoint_id)
+        assert row["available"] is False
+
+
+class TestFlushLagEndToEnd:
+    def run_platform(self, flush_lag_s):
+        platform = CanaryPlatform(
+            seed=6,
+            num_nodes=4,
+            strategy="canary",
+            error_rate=0.0,
+            node_failure_count=1,
+            node_failure_window=(6.0, 9.0),
+            checkpoint_flush_lag_s=flush_lag_s,
+        )
+        job = platform.submit_job(JobRequest(workload=TINY, num_functions=30))
+        platform.run()
+        return platform, job
+
+    def test_everything_still_completes(self):
+        platform, job = self.run_platform(flush_lag_s=4.0)
+        assert job.done
+        assert platform.metrics.unrecovered_failures() == []
+
+    def test_lag_costs_extra_redo_after_node_death(self):
+        fast_platform, _ = self.run_platform(flush_lag_s=0.0)
+        slow_platform, _ = self.run_platform(flush_lag_s=4.0)
+        # Same seed, same node death: the laggy flush loses the newest
+        # checkpoints of the dead node's functions, so recovery redoes
+        # at least as much work.
+        assert (
+            slow_platform.metrics.total_recovery_time()
+            >= fast_platform.metrics.total_recovery_time()
+        )

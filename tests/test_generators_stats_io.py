@@ -1,0 +1,170 @@
+"""Tests for workload generators, statistics helpers, and result I/O."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    compare,
+    mean_confidence_interval,
+)
+from repro.core.canary import CanaryPlatform
+from repro.experiments.io import read_csv, read_json, write_csv, write_json
+from repro.experiments.report import FigureResult
+from repro.workloads.generators import (
+    bursty_trace,
+    poisson_trace,
+    replay_trace,
+)
+
+
+class TestPoissonTrace:
+    def test_deterministic_per_seed(self):
+        kwargs = dict(
+            rate_per_s=0.5, duration_s=60.0, workloads=["graph-bfs"], seed=3
+        )
+        a = poisson_trace(**kwargs)
+        b = poisson_trace(**kwargs)
+        assert [x.at_s for x in a] == [x.at_s for x in b]
+
+    def test_arrival_count_near_rate(self):
+        arrivals = poisson_trace(
+            rate_per_s=1.0, duration_s=500.0, workloads=["graph-bfs"], seed=0
+        )
+        assert 400 < len(arrivals) < 600
+
+    def test_arrivals_sorted_within_horizon(self):
+        arrivals = poisson_trace(
+            rate_per_s=0.3, duration_s=100.0, workloads=["graph-bfs"], seed=1
+        )
+        times = [a.at_s for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 < t < 100.0 for t in times)
+
+    def test_mix_respected(self):
+        arrivals = poisson_trace(
+            rate_per_s=2.0,
+            duration_s=200.0,
+            workloads=["graph-bfs", "web-service"],
+            mix=[1.0, 0.0],
+            seed=0,
+        )
+        assert all(a.request.workload.name == "graph-bfs" for a in arrivals)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            poisson_trace(rate_per_s=0, duration_s=10, workloads=["graph-bfs"])
+        with pytest.raises(ValueError):
+            poisson_trace(rate_per_s=1, duration_s=10, workloads=[])
+        with pytest.raises(ValueError):
+            poisson_trace(
+                rate_per_s=1, duration_s=10, workloads=["graph-bfs"],
+                mix=[0.5, 0.5],
+            )
+
+
+class TestBurstyTraceAndReplay:
+    def test_burst_structure(self):
+        arrivals = bursty_trace(
+            bursts=3,
+            jobs_per_burst=4,
+            burst_spacing_s=30.0,
+            workload="graph-bfs",
+        )
+        assert len(arrivals) == 12
+        assert max(a.at_s for a in arrivals[:4]) < 30.0
+
+    def test_replay_runs_all_jobs(self):
+        platform = CanaryPlatform(seed=0, num_nodes=4, strategy="ideal")
+        arrivals = bursty_trace(
+            bursts=2,
+            jobs_per_burst=2,
+            burst_spacing_s=20.0,
+            workload="micro-python",
+            functions_per_job=5,
+        )
+        replay_trace(platform, arrivals)
+        platform.run()
+        assert len(platform.jobs) == 4
+        assert all(job.done for job in platform.jobs.values())
+        # The second burst's jobs started no earlier than their arrival.
+        late_jobs = sorted(platform.jobs.values(), key=lambda j: j.submitted_at)
+        assert late_jobs[-1].submitted_at >= 20.0
+
+
+class TestStats:
+    def test_mean_ci_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert low < mean < high
+        assert mean == pytest.approx(2.5)
+
+    def test_single_sample_degenerate(self):
+        assert mean_confidence_interval([5.0]) == (5.0, 5.0, 5.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_ci_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(10, 2, size=5)
+        large = rng.normal(10, 2, size=50)
+        _, lo_s, hi_s = mean_confidence_interval(small)
+        _, lo_l, hi_l = mean_confidence_interval(large)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_bootstrap_ci_brackets_point(self):
+        point, low, high = bootstrap_ci([3.0, 4.0, 5.0, 6.0], seed=1)
+        assert low <= point <= high
+
+    def test_compare_detects_clear_reduction(self):
+        baseline = [10.0, 11.0, 9.5, 10.5, 10.2]
+        treatment = [2.0, 2.2, 1.9, 2.1, 2.0]
+        result = compare(baseline, treatment)
+        assert result.reduction_pct == pytest.approx(80, abs=3)
+        assert result.significant
+
+    def test_compare_no_difference_not_significant(self):
+        samples = [10.0, 10.5, 9.5, 10.2, 9.8]
+        result = compare(samples, list(samples))
+        assert abs(result.reduction_pct) < 1e-9
+        assert not result.significant
+
+    def test_compare_unpaired(self):
+        result = compare(
+            [10.0, 11.0, 9.0], [5.0, 6.0, 4.0, 5.5], paired=False
+        )
+        assert result.reduction_pct > 0
+
+    def test_paired_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            compare([1.0, 2.0], [1.0], paired=True)
+
+
+class TestResultIO:
+    def make_result(self):
+        return FigureResult(
+            figure="figX",
+            title="demo",
+            columns=("strategy", "value"),
+            rows=[
+                {"strategy": "canary", "value": 1.5},
+                {"strategy": "retry", "value": 9.0},
+            ],
+            notes=["note"],
+        )
+
+    def test_json_roundtrip(self, tmp_path):
+        result = self.make_result()
+        path = write_json(result, tmp_path / "r.json")
+        loaded = read_json(path)
+        assert loaded.figure == result.figure
+        assert loaded.rows == result.rows
+        assert loaded.notes == result.notes
+
+    def test_csv_roundtrip(self, tmp_path):
+        result = self.make_result()
+        path = write_csv(result, tmp_path / "r.csv")
+        rows = read_csv(path)
+        assert rows[0]["strategy"] == "canary"
+        assert float(rows[1]["value"]) == 9.0

@@ -1,0 +1,85 @@
+"""Tests for availability accounting and timeline export."""
+
+import pytest
+
+from repro.metrics.availability import availability, total_function_time
+from repro.metrics.timeline import (
+    build_timeline,
+    iter_function_timeline,
+    render_timeline,
+)
+
+from tests.conftest import run_tiny_job
+
+
+class TestAvailability:
+    def test_failure_free_run_is_fully_available(self):
+        platform, _ = run_tiny_job(strategy="ideal", num_functions=10)
+        assert availability(platform.metrics) == 1.0
+
+    def test_failures_reduce_availability(self):
+        platform, _ = run_tiny_job(
+            strategy="retry", error_rate=0.5, num_functions=10,
+            refailure_rate=0.0,
+        )
+        assert availability(platform.metrics) < 1.0
+
+    def test_canary_more_available_than_retry(self):
+        retry, _ = run_tiny_job(
+            strategy="retry", error_rate=0.4, num_functions=20, seed=3,
+            refailure_rate=0.0,
+        )
+        canary, _ = run_tiny_job(
+            strategy="canary", error_rate=0.4, num_functions=20, seed=3,
+            refailure_rate=0.0,
+        )
+        assert availability(canary.metrics) > availability(retry.metrics)
+
+    def test_empty_metrics_defaults_to_one(self):
+        from repro.metrics.collector import MetricsCollector
+
+        assert availability(MetricsCollector()) == 1.0
+
+    def test_total_function_time_positive(self):
+        platform, _ = run_tiny_job(strategy="ideal", num_functions=5)
+        assert total_function_time(platform.metrics) > 0
+
+
+class TestTimeline:
+    def test_events_sorted_and_complete(self):
+        platform, job = run_tiny_job(
+            strategy="canary", error_rate=0.3, num_functions=10,
+            refailure_rate=0.0,
+        )
+        events = build_timeline(platform.metrics)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        kinds = {e.event for e in events}
+        assert {"submitted", "ready", "completed"} <= kinds
+        assert "killed" in kinds and "recovered" in kinds
+
+    def test_per_function_lifecycle_order(self):
+        platform, job = run_tiny_job(
+            strategy="canary", error_rate=0.3, num_functions=10,
+            refailure_rate=0.0,
+        )
+        victim = next(
+            t.function_id
+            for t in platform.metrics.traces.values()
+            if t.failed
+        )
+        sequence = [e.event for e in iter_function_timeline(
+            platform.metrics, victim)]
+        assert sequence[0] == "submitted"
+        assert sequence[-1] == "completed"
+        assert "killed" in sequence
+        assert sequence.index("killed") < sequence.index("recovered")
+
+    def test_render_is_textual_and_bounded(self):
+        platform, _ = run_tiny_job(
+            strategy="retry", error_rate=0.2, num_functions=5,
+            refailure_rate=0.0,
+        )
+        text = render_timeline(platform.metrics, limit=10)
+        assert len(text.splitlines()) <= 10
+        assert "submitted" in text

@@ -1,0 +1,152 @@
+"""End-to-end platform tests: admission, queueing, node failures, summaries."""
+
+import pytest
+
+from repro.common.errors import RequestValidationError
+from repro.common.units import gb
+from repro.core.canary import CanaryPlatform
+from repro.core.jobs import JobRequest
+from repro.faas.limits import PlatformLimits
+
+from tests.conftest import TINY, build_platform, run_tiny_job
+
+
+class TestAdmission:
+    def test_hard_violation_rejected(self):
+        platform = build_platform()
+        with pytest.raises(RequestValidationError):
+            platform.submit_job(
+                JobRequest(
+                    workload=TINY, num_functions=1, memory_bytes=gb(100)
+                )
+            )
+
+    def test_concurrency_pressure_queues_jobs(self):
+        platform = CanaryPlatform(
+            seed=0,
+            num_nodes=4,
+            strategy="ideal",
+            limits=PlatformLimits(max_concurrent_invocations=15),
+        )
+        first = platform.submit_job(JobRequest(workload=TINY, num_functions=10))
+        second = platform.submit_job(JobRequest(workload=TINY, num_functions=10))
+        assert first is not None
+        assert second is None  # queued
+        platform.run()
+        # The queued job was admitted once the first finished.
+        assert len(platform.jobs) == 2
+        assert all(j.done for j in platform.jobs.values())
+
+    def test_queued_jobs_complete_in_fifo_order(self):
+        platform = CanaryPlatform(
+            seed=0,
+            num_nodes=4,
+            strategy="ideal",
+            limits=PlatformLimits(max_concurrent_invocations=10),
+        )
+        for _ in range(4):
+            platform.submit_job(JobRequest(workload=TINY, num_functions=10))
+        platform.run()
+        jobs = sorted(platform.jobs.values(), key=lambda j: j.job_id)
+        completions = [j.completed_at for j in jobs]
+        assert completions == sorted(completions)
+
+    def test_worker_info_populated(self):
+        platform = build_platform(num_nodes=6)
+        assert len(platform.database.worker_info) == 6
+
+
+class TestNodeFailures:
+    def test_node_failure_recovers_via_shared_checkpoints(self):
+        platform = CanaryPlatform(
+            seed=1,
+            num_nodes=4,
+            strategy="canary",
+            error_rate=0.0,
+            node_failure_count=1,
+            node_failure_window=(3.0, 6.0),
+        )
+        job = platform.submit_job(JobRequest(workload=TINY, num_functions=30))
+        platform.run()
+        assert job.done
+        assert len(platform.cluster.alive_nodes()) == 3
+        node_events = [
+            e
+            for e in platform.metrics.failures
+            if e.reason.startswith("node-failure")
+        ]
+        assert node_events
+        assert platform.metrics.unrecovered_failures() == []
+
+    def test_node_failure_under_retry_restarts_everything(self):
+        platform = CanaryPlatform(
+            seed=1,
+            num_nodes=4,
+            strategy="retry",
+            node_failure_count=1,
+            node_failure_window=(3.0, 6.0),
+        )
+        job = platform.submit_job(JobRequest(workload=TINY, num_functions=30))
+        platform.run()
+        assert job.done
+        node_events = [
+            e
+            for e in platform.metrics.failures
+            if e.reason.startswith("node-failure")
+        ]
+        assert node_events
+        assert all(e.resumed_from_state == 0 for e in node_events)
+
+    def test_correlated_failures_retry_slower_than_canary(self):
+        def total_recovery(strategy):
+            platform = CanaryPlatform(
+                seed=5,
+                num_nodes=4,
+                strategy=strategy,
+                node_failure_count=1,
+                node_failure_window=(4.0, 8.0),
+            )
+            platform.submit_job(JobRequest(workload=TINY, num_functions=40))
+            platform.run()
+            assert platform.metrics.unrecovered_failures() == []
+            return platform.metrics.total_recovery_time()
+
+        assert total_recovery("canary") < total_recovery("retry")
+
+
+class TestSummary:
+    def test_summary_fields_consistent(self):
+        platform, job = run_tiny_job(
+            strategy="canary", error_rate=0.2, num_functions=10,
+            refailure_rate=0.0,
+        )
+        summary = platform.summary()
+        assert summary.strategy == "canary"
+        assert summary.workload == "tiny"
+        assert summary.num_functions == 10
+        assert summary.completed == 10
+        assert summary.all_completed
+        assert summary.failures == 2
+        assert summary.unrecovered == 0
+        assert summary.makespan_s == pytest.approx(platform.makespan())
+        assert summary.cost_total == pytest.approx(
+            summary.cost_function + summary.cost_replica + summary.cost_standby
+        )
+        assert summary.checkpoints_taken > 0
+        assert summary.seed == 0
+
+    def test_empty_platform_summary(self):
+        platform = build_platform()
+        summary = platform.summary()
+        assert summary.makespan_s == 0.0
+        assert summary.num_functions == 0
+
+    def test_determinism_same_seed_same_summary(self):
+        a, _ = run_tiny_job(strategy="canary", error_rate=0.3, seed=9)
+        b, _ = run_tiny_job(strategy="canary", error_rate=0.3, seed=9)
+        assert a.summary() == b.summary()
+
+    def test_different_seeds_differ(self):
+        a, _ = run_tiny_job(strategy="canary", error_rate=0.3, seed=1)
+        b, _ = run_tiny_job(strategy="canary", error_rate=0.3, seed=2)
+        assert a.summary() != b.summary()

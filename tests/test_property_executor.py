@@ -1,0 +1,105 @@
+"""Property-based tests of the real executor's recovery semantics.
+
+The defining invariant of exactly-once-equivalent recovery: **whatever the
+kill schedule and strategy, the final result equals the failure-free
+result** — only the amount of recomputation may differ.
+"""
+
+import dataclasses
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.executor.local import FaultPlan, LocalExecutor
+from repro.workloads.compression import make_compression
+from repro.workloads.dl import make_dl_training
+from repro.workloads.graph_bfs import make_bfs
+from repro.workloads.mapreduce import exact_wordcount, run_wordcount, synthesize_documents
+
+
+def semantic(value):
+    """Strip the recomputation counter before comparing results."""
+    return dataclasses.replace(value, work_units=0)
+
+
+kill_plans = st.lists(
+    st.integers(min_value=0, max_value=4), min_size=0, max_size=4
+)
+
+
+class TestRecoveryNeverChangesResults:
+    @given(kills=kill_plans, strategy=st.sampled_from(["canary", "retry"]))
+    @settings(max_examples=30, deadline=None)
+    def test_dl_training(self, kills, strategy):
+        fn = lambda: make_dl_training(epochs=5, dim=8, samples=16, seed=2)
+        clean = LocalExecutor(strategy="canary").run_function("f", fn())
+        executor = LocalExecutor(
+            strategy=strategy, fault_plan=FaultPlan({"f": kills})
+        )
+        faulty = executor.run_function("f", fn())
+        assert semantic(faulty.value) == semantic(clean.value)
+        # Every planned kill fires: recovery always revisits the kill state
+        # (canary resumes at or before it; retry restarts from scratch).
+        assert faulty.kills == len(kills)
+
+    @given(kills=kill_plans, strategy=st.sampled_from(["canary", "retry"]))
+    @settings(max_examples=30, deadline=None)
+    def test_compression(self, kills, strategy):
+        fn = lambda: make_compression(num_files=5, file_size_bytes=4096, seed=3)
+        clean = LocalExecutor(strategy="canary").run_function("f", fn())
+        executor = LocalExecutor(
+            strategy=strategy, fault_plan=FaultPlan({"f": kills})
+        )
+        faulty = executor.run_function("f", fn())
+        assert semantic(faulty.value) == semantic(clean.value)
+
+    @given(
+        kills=st.lists(
+            st.integers(min_value=0, max_value=6), min_size=0, max_size=3
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bfs_traversal_order(self, kills):
+        fn = lambda: make_bfs(num_vertices=2048, checkpoint_every=256)
+        clean = LocalExecutor(strategy="canary").run_function("f", fn())
+        executor = LocalExecutor(
+            strategy="canary", fault_plan=FaultPlan({"f": kills})
+        )
+        faulty = executor.run_function("f", fn())
+        assert faulty.value.order_checksum == clean.value.order_checksum
+        assert faulty.value.visited == clean.value.visited
+
+    @given(
+        mapper_kills=st.dictionaries(
+            keys=st.sampled_from(["mapper-0", "mapper-1", "mapper-2"]),
+            values=st.lists(
+                st.integers(min_value=0, max_value=1), min_size=1, max_size=2
+            ),
+            max_size=3,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_mapreduce(self, mapper_kills):
+        docs = synthesize_documents(num_docs=12, seed=4)
+        result = run_wordcount(
+            num_mappers=3,
+            documents=docs,
+            fault_plan=FaultPlan(dict(mapper_kills)),
+        )
+        assert result.counts == exact_wordcount(docs)
+
+
+class TestRecomputationOrdering:
+    @given(kill_at=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_canary_never_recomputes_more_than_retry(self, kill_at):
+        def final_work(strategy):
+            executor = LocalExecutor(
+                strategy=strategy, fault_plan=FaultPlan({"f": [kill_at]})
+            )
+            result = executor.run_function(
+                "f", make_dl_training(epochs=5, dim=8, samples=16)
+            )
+            return result.value.work_units
+
+        assert final_work("canary") <= final_work("retry")

@@ -1,0 +1,174 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, lambda: fired.append(3))
+        q.push(1.0, lambda: fired.append(1))
+        q.push(2.0, lambda: fired.append(2))
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_same_time_fires_in_scheduling_order(self):
+        q = EventQueue()
+        events = [q.push(5.0, lambda: None, label=str(i)) for i in range(10)]
+        popped = [q.pop().label for _ in range(10)]
+        assert popped == [str(i) for i in range(10)]
+
+    def test_priority_beats_sequence(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, priority=1, label="late")
+        q.push(1.0, lambda: None, priority=0, label="early")
+        assert q.pop().label == "early"
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        keep = q.push(1.0, lambda: None, label="keep")
+        drop = q.push(0.5, lambda: None, label="drop")
+        q.cancel(drop)
+        assert len(q) == 1
+        assert q.pop().label == "keep"
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(first)
+        assert q.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(2.5, lambda: seen.append(sim.now))
+        sim.call_at(1.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.0, 2.5]
+        assert sim.now == 2.5
+
+    def test_call_in_is_relative(self):
+        sim = Simulator()
+        seen = []
+
+        def chain():
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.call_in(1.5, chain)
+
+        sim.call_in(1.5, chain)
+        sim.run()
+        assert seen == [1.5, 3.0, 4.5]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_in(-1.0, lambda: None)
+
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, lambda: fired.append(1))
+        sim.call_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_handle_cancel_prevents_callback(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_at(1.0, lambda: fired.append(1))
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+        sim.run()
+        assert fired == []
+
+    def test_handle_inactive_after_firing(self):
+        sim = Simulator()
+        handle = sim.call_at(1.0, lambda: None)
+        sim.run()
+        assert not handle.active
+        handle.cancel()  # no-op, no error
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.call_at(float(i), lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+
+    def test_pending_count(self):
+        sim = Simulator()
+        handles = [sim.call_at(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending == 5
+        handles[0].cancel()
+        assert sim.pending == 4
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def inner():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.call_at(1.0, inner)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, lambda: sim.call_in(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_deterministic_trace(self):
+        def trace(seed):
+            sim = Simulator(seed=seed)
+            out = []
+            rng = sim.rng.stream("test")
+
+            def step():
+                out.append((sim.now, float(rng.uniform())))
+                if len(out) < 20:
+                    sim.call_in(float(rng.uniform(0.1, 1.0)), step)
+
+            sim.call_in(0.5, step)
+            sim.run()
+            return out
+
+        assert trace(42) == trace(42)
+        assert trace(42) != trace(43)

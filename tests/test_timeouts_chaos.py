@@ -1,0 +1,107 @@
+"""Function-timeout enforcement + combined-feature chaos tests."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.canary import CanaryPlatform
+from repro.core.jobs import JobRequest
+from repro.sla.policy import SLAPolicy
+
+from tests.conftest import TINY
+
+
+def run_with_timeout(strategy, timeout_s, num_functions=5, seed=0):
+    platform = CanaryPlatform(
+        seed=seed, num_nodes=4, strategy=strategy, error_rate=0.0
+    )
+    job = platform.submit_job(
+        JobRequest(
+            workload=TINY, num_functions=num_functions, timeout_s=timeout_s
+        )
+    )
+    # TINY needs ~8.5s of states; a tight timeout guarantees kills, a
+    # generous one never fires.  Guard against infinite timeout loops.
+    platform.run(until=600.0)
+    return platform, job
+
+
+class TestFunctionTimeouts:
+    def test_generous_timeout_never_fires(self):
+        platform, job = run_with_timeout("canary", timeout_s=300.0)
+        assert job.done
+        assert platform.metrics.failures == []
+
+    def test_timeout_kills_and_canary_resumes_from_checkpoint(self):
+        # ~4s in: one or two states done and checkpointed.
+        platform, job = run_with_timeout("canary", timeout_s=6.0)
+        timeouts = [
+            e for e in platform.metrics.failures if e.reason == "timeout"
+        ]
+        assert timeouts
+        assert job.done
+        # The recovery resumed from a checkpoint rather than state 0:
+        # otherwise no attempt could ever beat the timeout.
+        resumed = [e for e in timeouts if (e.resumed_from_state or 0) > 0]
+        assert resumed
+
+    def test_retry_with_hopeless_timeout_never_finishes(self):
+        # Retry restarts from scratch each time; if the timeout is shorter
+        # than the function, no attempt can ever complete.  (This is the
+        # §II-B criticism of retry for timeout failures.)
+        platform, job = run_with_timeout(
+            "retry", timeout_s=6.0, num_functions=2
+        )
+        assert not job.done
+        assert all(
+            e.reason == "timeout" for e in platform.metrics.failures
+        )
+
+    def test_canary_with_hopeless_timeout_still_finishes(self):
+        # Canary banks progress between attempts: each attempt commits a
+        # few more states before timing out, so the job converges.
+        platform, job = run_with_timeout(
+            "canary", timeout_s=6.0, num_functions=2
+        )
+        assert job.done
+
+
+class TestChaos:
+    """Everything at once: errors, node failures, prediction, SLA, reuse."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_kitchen_sink_run_converges_consistently(self, seed):
+        platform = CanaryPlatform(
+            seed=seed,
+            num_nodes=6,
+            strategy="canary-sla",
+            error_rate=0.3,
+            refailure_rate=0.1,
+            node_failure_count=1,
+            node_failure_window=(5.0, 20.0),
+            node_failure_precursors=2,
+            enable_prediction=True,
+            reuse_containers=True,
+            checkpoint_flush_lag_s=1.0,
+        )
+        job = platform.submit_job(
+            JobRequest(
+                workload=TINY,
+                num_functions=25,
+                sla=SLAPolicy(deadline_s=120.0),
+            )
+        )
+        platform.run(until=2000.0)
+
+        assert job.done
+        summary = platform.summary()
+        assert summary.completed == 25
+        assert summary.unrecovered == 0
+        assert platform.database.check_referential_integrity() == []
+        # Deadline bookkeeping covered every function.
+        strategy = platform.strategy
+        assert strategy.deadline_hits + strategy.deadline_misses == 25
+        # No leaked non-terminal containers except parked warm ones.
+        for container in platform.controller.all_containers():
+            assert container.terminal or container.is_warm_idle

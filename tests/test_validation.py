@@ -1,0 +1,41 @@
+"""End-to-end claim validation: every paper claim's predicate must pass.
+
+This is the repository's acceptance test — a reduced-scale sweep of all
+nine figures with the paper's qualitative claims checked programmatically.
+"""
+
+import pytest
+
+from repro.experiments.validation import (
+    ClaimCheck,
+    scorecard,
+    validate_all,
+    validate_fig4,
+)
+
+
+@pytest.mark.slow
+def test_all_paper_claims_reproduce():
+    checks = validate_all()
+    report = scorecard(checks)
+    failed = [c for c in checks if not c.passed]
+    assert not failed, f"claims failed:\n{report}"
+    assert len(checks) >= 15
+
+
+def test_single_figure_validator():
+    checks = validate_fig4()
+    assert len(checks) == 2
+    assert all(isinstance(c, ClaimCheck) for c in checks)
+    assert all(c.passed for c in checks)
+
+
+def test_scorecard_rendering():
+    checks = [
+        ClaimCheck(figure="figX", claim="a claim", passed=True, detail="1 vs 2"),
+        ClaimCheck(figure="figY", claim="another", passed=False),
+    ]
+    text = scorecard(checks)
+    assert "PASS" in text and "FAIL" in text
+    assert "1/2 claims reproduced" in text
+    assert "[1 vs 2]" in text

@@ -1,0 +1,81 @@
+"""Tests for the workload timing profiles."""
+
+import pytest
+
+from repro.common.types import RuntimeKind
+from repro.common.units import mb
+from repro.workloads.profiles import (
+    ALL_WORKLOADS,
+    MICRO_WORKLOADS,
+    WORKLOADS_BY_NAME,
+    WorkloadProfile,
+    get_workload,
+)
+
+
+class TestProfiles:
+    def test_five_paper_workloads_present(self):
+        names = {w.name for w in ALL_WORKLOADS}
+        assert names == {
+            "dl-training",
+            "web-service",
+            "spark-mining",
+            "compression",
+            "graph-bfs",
+        }
+
+    def test_micro_workloads_cover_all_runtimes(self):
+        assert {w.runtime for w in MICRO_WORKLOADS} == set(RuntimeKind)
+
+    def test_paper_runtime_assignments(self):
+        # §V-C-2: python/nodejs/java runtimes across the workloads.
+        assert get_workload("dl-training").runtime is RuntimeKind.PYTHON
+        assert get_workload("web-service").runtime is RuntimeKind.NODEJS
+        assert get_workload("spark-mining").runtime is RuntimeKind.JAVA
+
+    def test_resnet50_checkpoint_size(self):
+        # Weights + biases of ResNet50 are ~98 MB.
+        assert get_workload("dl-training").checkpoint_size_bytes == mb(98)
+
+    def test_webservice_has_50_requests(self):
+        assert get_workload("web-service").n_states == 50
+
+    def test_mean_exec_time(self):
+        profile = get_workload("graph-bfs")
+        expected = profile.n_states * profile.state_duration_s + profile.finish_s
+        assert profile.mean_exec_s == pytest.approx(expected)
+
+    def test_lookup_unknown_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="dl-training"):
+            get_workload("nope")
+
+    def test_registry_complete(self):
+        assert len(WORKLOADS_BY_NAME) == len(ALL_WORKLOADS) + len(
+            MICRO_WORKLOADS
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_states": 0},
+            {"state_duration_s": 0.0},
+            {"state_jitter": 1.0},
+            {"state_jitter": -0.1},
+            {"checkpoint_size_bytes": -1.0},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        base = dict(
+            name="x",
+            runtime=RuntimeKind.PYTHON,
+            n_states=4,
+            state_duration_s=1.0,
+            state_jitter=0.1,
+            checkpoint_size_bytes=mb(1),
+            serialize_overhead_s=0.01,
+            finish_s=0.1,
+            memory_bytes=mb(256),
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            WorkloadProfile(**base)
