@@ -1,0 +1,144 @@
+"""Runner-scaling microbenchmark: event throughput + parallel sweep speedup.
+
+Two regression-visible numbers, written to ``BENCH_runner.json`` at the
+repo root on every run:
+
+* ``engine.events_per_sec`` — single-run hot-path throughput of the
+  discrete-event engine, including a cancellation-heavy pass that
+  exercises heap compaction (timeouts and standby teardowns cancel
+  roughly as many events as they fire).
+* ``sweep`` — wall-clock of a reduced fig06-style grid executed serially
+  vs fanned out over worker processes, and the resulting speedup.  The
+  serial baseline is recorded in the same run so the two numbers are
+  always comparable.
+
+Smoke mode (``BENCH_SMOKE=1``, used by CI) shrinks the grid and the event
+counts so the whole file runs in seconds; the JSON then carries
+``"smoke": true`` so dashboards don't mix scales.  The ≥2× speedup
+assertion only fires on full runs with at least 4 usable cores — a
+single-core runner cannot speed anything up, it can only prove the
+parallel path returns identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import default_jobs, run_cells
+from repro.sim.engine import Simulator
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+SMOKE = os.environ.get("BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
+
+def drain_events(n_events: int) -> float:
+    """Seconds to fire *n_events* through a self-refilling event loop."""
+    sim = Simulator(seed=0)
+    rng = sim.rng.stream("bench")
+
+    def tick() -> None:
+        if sim.pending < 64 and sim.events_processed < n_events:
+            for _ in range(8):
+                sim.call_in(float(rng.uniform(0.01, 1.0)), tick)
+
+    for _ in range(64):
+        sim.call_in(float(rng.uniform(0.01, 1.0)), tick)
+    start = time.perf_counter()
+    sim.run(max_events=n_events)
+    elapsed = time.perf_counter() - start
+    assert sim.events_processed == n_events
+    return elapsed
+
+
+def drain_events_with_cancellation(n_events: int) -> float:
+    """Like :func:`drain_events` but half the scheduled work gets cancelled,
+    the pattern that used to bloat the heap with dead entries."""
+    sim = Simulator(seed=1)
+    rng = sim.rng.stream("bench-cancel")
+    doomed: list = []
+
+    def tick() -> None:
+        if sim.pending < 128 and sim.events_processed < n_events:
+            for _ in range(8):
+                sim.call_in(float(rng.uniform(0.01, 1.0)), tick)
+                # Shadow "timeout" events: scheduled far out, always cancelled.
+                doomed.append(sim.call_in(float(rng.uniform(50.0, 99.0)),
+                                          tick))
+            while doomed:
+                doomed.pop().cancel()
+
+    for _ in range(64):
+        sim.call_in(float(rng.uniform(0.01, 1.0)), tick)
+    start = time.perf_counter()
+    sim.run(max_events=n_events)
+    elapsed = time.perf_counter() - start
+    assert sim.events_processed == n_events
+    return elapsed
+
+
+def _fig06_grid(num_functions: int, seeds: range) -> list:
+    scenarios = [
+        ScenarioConfig(
+            workload=workload,
+            strategy=strategy,
+            error_rate=error_rate,
+            num_functions=num_functions,
+        )
+        for workload in ("dl-training", "compression", "graph-bfs")
+        for strategy in ("retry", "canary-checkpoint-only", "canary")
+        for error_rate in (0.05, 0.15, 0.50)
+    ]
+    return [(scenario, seed) for scenario in scenarios for seed in seeds]
+
+
+def test_bench_runner_scaling(jobs):
+    n_events = 50_000 if SMOKE else 400_000
+    cells = _fig06_grid(
+        num_functions=10 if SMOKE else 50,
+        seeds=range(2 if SMOKE else 4),
+    )
+    fan_jobs = jobs if jobs is not None else max(4, default_jobs())
+
+    plain_s = drain_events(n_events)
+    cancel_s = drain_events_with_cancellation(n_events)
+
+    serial_start = time.perf_counter()
+    serial = run_cells(cells, jobs=1)
+    serial_s = time.perf_counter() - serial_start
+
+    parallel_start = time.perf_counter()
+    fanned = run_cells(cells, jobs=fan_jobs)
+    parallel_s = time.perf_counter() - parallel_start
+
+    assert fanned == serial  # the speedup must not change a single row
+
+    cores = default_jobs()
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    record = {
+        "smoke": SMOKE,
+        "cores": cores,
+        "engine": {
+            "events": n_events,
+            "events_per_sec": round(n_events / plain_s),
+            "events_per_sec_cancel_heavy": round(n_events / cancel_s),
+        },
+        "sweep": {
+            "cells": len(cells),
+            "jobs": fan_jobs,
+            "serial_wall_s": round(serial_s, 3),
+            "parallel_wall_s": round(parallel_s, 3),
+            "speedup": round(speedup, 2),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert record["engine"]["events_per_sec"] > 0
+    if not SMOKE and cores >= 4:
+        # The acceptance bar: a 4-core sweep must at least halve wall-clock.
+        assert speedup >= 2.0, record["sweep"]

@@ -12,12 +12,13 @@ from repro.workloads.profiles import ALL_WORKLOADS
 WORKLOADS = [w.name for w in ALL_WORKLOADS]
 
 
-def test_fig04_replication_recovery(benchmark):
+def test_fig04_replication_recovery(benchmark, jobs):
     result = benchmark.pedantic(
         lambda: fig04.run(
             seeds=FAST_SEEDS,
             error_rates=FAST_ERROR_RATES,
             workloads=WORKLOADS,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

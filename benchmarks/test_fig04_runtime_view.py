@@ -10,9 +10,9 @@ from conftest import FAST_SEEDS, show
 from repro.experiments import fig04_runtimes
 
 
-def test_fig04_runtime_view(benchmark):
+def test_fig04_runtime_view(benchmark, jobs):
     result = benchmark.pedantic(
-        lambda: fig04_runtimes.run(seeds=FAST_SEEDS),
+        lambda: fig04_runtimes.run(seeds=FAST_SEEDS, jobs=jobs),
         rounds=1,
         iterations=1,
     )

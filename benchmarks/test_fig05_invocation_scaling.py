@@ -12,12 +12,13 @@ WORKLOADS = ("graph-bfs", "web-service", "dl-training")
 INVOCATIONS = (100, 200, 400)
 
 
-def test_fig05_invocation_scaling(benchmark):
+def test_fig05_invocation_scaling(benchmark, jobs):
     result = benchmark.pedantic(
         lambda: fig05.run(
             seeds=FAST_SEEDS,
             invocations=INVOCATIONS,
             workloads=WORKLOADS,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

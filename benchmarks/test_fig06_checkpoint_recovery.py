@@ -12,12 +12,13 @@ from repro.experiments import fig06
 WORKLOADS = ("dl-training", "compression", "graph-bfs")
 
 
-def test_fig06_checkpoint_recovery(benchmark):
+def test_fig06_checkpoint_recovery(benchmark, jobs):
     result = benchmark.pedantic(
         lambda: fig06.run(
             seeds=FAST_SEEDS,
             error_rates=FAST_ERROR_RATES,
             workloads=WORKLOADS,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

@@ -10,9 +10,11 @@ from conftest import FAST_ERROR_RATES, FAST_SEEDS, show
 from repro.experiments import fig07
 
 
-def test_fig07_dl_makespan(benchmark):
+def test_fig07_dl_makespan(benchmark, jobs):
     result = benchmark.pedantic(
-        lambda: fig07.run(seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES),
+        lambda: fig07.run(
+            seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES, jobs=jobs
+        ),
         rounds=1,
         iterations=1,
     )

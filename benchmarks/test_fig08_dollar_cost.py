@@ -10,9 +10,11 @@ from conftest import FAST_ERROR_RATES, FAST_SEEDS, show
 from repro.experiments import fig08
 
 
-def test_fig08_dollar_cost(benchmark):
+def test_fig08_dollar_cost(benchmark, jobs):
     result = benchmark.pedantic(
-        lambda: fig08.run(seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES),
+        lambda: fig08.run(
+            seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES, jobs=jobs
+        ),
         rounds=1,
         iterations=1,
     )

@@ -14,9 +14,11 @@ def mean(values):
     return sum(values) / len(values)
 
 
-def test_fig09_replication_strategies(benchmark):
+def test_fig09_replication_strategies(benchmark, jobs):
     result = benchmark.pedantic(
-        lambda: fig09.run(seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES),
+        lambda: fig09.run(
+            seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES, jobs=jobs
+        ),
         rounds=1,
         iterations=1,
     )

@@ -10,9 +10,11 @@ from conftest import FAST_ERROR_RATES, FAST_SEEDS, show
 from repro.experiments import fig10
 
 
-def test_fig10_sota_comparison(benchmark):
+def test_fig10_sota_comparison(benchmark, jobs):
     result = benchmark.pedantic(
-        lambda: fig10.run(seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES),
+        lambda: fig10.run(
+            seeds=FAST_SEEDS, error_rates=FAST_ERROR_RATES, jobs=jobs
+        ),
         rounds=1,
         iterations=1,
     )

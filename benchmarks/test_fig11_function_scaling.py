@@ -12,9 +12,11 @@ from repro.experiments import fig11
 INVOCATIONS = (200, 400, 800)
 
 
-def test_fig11_function_scaling(benchmark):
+def test_fig11_function_scaling(benchmark, jobs):
     result = benchmark.pedantic(
-        lambda: fig11.run(seeds=FAST_SEEDS, invocations=INVOCATIONS),
+        lambda: fig11.run(
+            seeds=FAST_SEEDS, invocations=INVOCATIONS, jobs=jobs
+        ),
         rounds=1,
         iterations=1,
     )

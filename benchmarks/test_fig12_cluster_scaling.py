@@ -11,17 +11,18 @@ from repro.experiments import fig12
 
 NODE_COUNTS = (1, 4, 16)
 NUM_FUNCTIONS = 2000
-JOBS = 4
+BATCH_JOBS = 4
 SEEDS = tuple(range(2))
 
 
-def test_fig12_cluster_scaling(benchmark):
+def test_fig12_cluster_scaling(benchmark, jobs):
     result = benchmark.pedantic(
         lambda: fig12.run(
             seeds=SEEDS,
             node_counts=NODE_COUNTS,
             num_functions=NUM_FUNCTIONS,
-            jobs=JOBS,
+            batch_jobs=BATCH_JOBS,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

@@ -5,6 +5,7 @@ Run:
     python examples/paper_figures.py fig7            # full-scale (10 seeds)
     python examples/paper_figures.py fig4 --fast     # quick 3-seed sweep
     python examples/paper_figures.py all --fast
+    python examples/paper_figures.py all --jobs 8    # 8 worker processes
 """
 
 from __future__ import annotations
@@ -40,7 +41,7 @@ FAST_KWARGS = {
     "fig10": dict(seeds=range(3), error_rates=(0.05, 0.15, 0.5)),
     "fig11": dict(seeds=range(3), invocations=(200, 400, 800)),
     "fig12": dict(seeds=range(2), node_counts=(1, 4, 16),
-                  num_functions=2000, jobs=4),
+                  num_functions=2000, batch_jobs=4),
 }
 
 
@@ -54,12 +55,18 @@ def main(argv=None) -> int:
         "--fast", action="store_true",
         help="reduced sweep (3 seeds) instead of the paper's 10-run average",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per sweep (default: one per core; 1 = serial)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
         module = FIGURES[name]
-        kwargs = FAST_KWARGS[name] if args.fast else {}
+        kwargs = dict(FAST_KWARGS[name]) if args.fast else {}
+        if args.jobs is not None:
+            kwargs["jobs"] = args.jobs
         started = time.time()
         result = module.run(**kwargs)
         print(format_table(result))

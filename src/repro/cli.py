@@ -95,6 +95,8 @@ def _figure_command(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.fast:
         kwargs["seeds"] = range(3)
+    if args.jobs is not None:
+        kwargs["jobs"] = args.jobs
     result = module.run(**kwargs)
     print(format_table(result))
     if args.chart:
@@ -154,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=[f"fig{i}" for i in range(4, 13)])
     figure.add_argument("--fast", action="store_true")
+    figure.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the sweep (default: one "
+                        "per core; 1 forces serial in-process execution)")
     figure.add_argument("--chart", action="store_true",
                         help="append a terminal bar chart of the first "
                         "numeric column")

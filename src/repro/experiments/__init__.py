@@ -8,6 +8,11 @@ the series of the corresponding paper figure, and the benchmarks under
 from repro.experiments.charts import bar_chart, comparison_chart, series_chart
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.io import read_csv, read_json, write_csv, write_json
+from repro.experiments.parallel import (
+    CellExecutionError,
+    run_cells,
+    run_sweep,
+)
 from repro.experiments.report import FigureResult, format_table, pct_change
 from repro.experiments.runner import (
     mean_of,
@@ -17,6 +22,7 @@ from repro.experiments.runner import (
 from repro.experiments.validation import scorecard, validate_all
 
 __all__ = [
+    "CellExecutionError",
     "FigureResult",
     "ScenarioConfig",
     "bar_chart",
@@ -26,8 +32,10 @@ __all__ = [
     "pct_change",
     "read_csv",
     "read_json",
+    "run_cells",
     "run_repeated",
     "run_scenario",
+    "run_sweep",
     "scorecard",
     "series_chart",
     "validate_all",

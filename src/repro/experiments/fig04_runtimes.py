@@ -8,11 +8,12 @@ Canary's replica adoption makes recovery nearly runtime-independent.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.config import DEFAULT_SEEDS, ScenarioConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.report import FigureResult, pct_reduction
-from repro.experiments.runner import mean_of, run_repeated
+from repro.experiments.runner import mean_of
 from repro.workloads.profiles import MICRO_WORKLOADS
 
 STRATEGIES = ("retry", "canary")
@@ -24,28 +25,35 @@ def run(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     error_rate: float = ERROR_RATE,
     num_functions: int = 100,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
+    grid = [
+        (profile, strategy)
+        for profile in MICRO_WORKLOADS
+        for strategy in STRATEGIES
+    ]
+    scenarios = [
+        ScenarioConfig(
+            workload=profile.name,
+            strategy=strategy,
+            error_rate=error_rate,
+            num_functions=num_functions,
+        )
+        for profile, strategy in grid
+    ]
     rows: list[dict] = []
-    for profile in MICRO_WORKLOADS:
-        for strategy in STRATEGIES:
-            summaries = run_repeated(
-                ScenarioConfig(
-                    workload=profile.name,
-                    strategy=strategy,
-                    error_rate=error_rate,
-                    num_functions=num_functions,
-                ),
-                seeds,
-            )
-            row = mean_of(summaries)
-            rows.append(
-                {
-                    "runtime": profile.runtime.value,
-                    "strategy": strategy,
-                    "mean_recovery_s": row["mean_recovery_s"],
-                    "total_recovery_s": row["total_recovery_s"],
-                }
-            )
+    for (profile, strategy), summaries in zip(
+        grid, run_sweep(scenarios, seeds, jobs=jobs)
+    ):
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "runtime": profile.runtime.value,
+                "strategy": strategy,
+                "mean_recovery_s": row["mean_recovery_s"],
+                "total_recovery_s": row["total_recovery_s"],
+            }
+        )
     result = FigureResult(
         figure="fig4-runtimes",
         title=f"Per-runtime recovery (100 invocations, "

@@ -9,8 +9,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import DEFAULT_SEEDS, ScenarioConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.report import FigureResult, pct_reduction
-from repro.experiments.runner import mean_of, run_repeated
+from repro.experiments.runner import mean_of
 from repro.workloads.profiles import ALL_WORKLOADS
 
 STRATEGIES = ("ideal", "retry", "canary")
@@ -24,32 +25,39 @@ def run(
     invocations: Sequence[int] = INVOCATIONS,
     workloads: Optional[Sequence[str]] = None,
     error_rate: float = ERROR_RATE,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     workloads = list(workloads or (w.name for w in ALL_WORKLOADS))
+    grid = [
+        (workload, strategy, n)
+        for workload in workloads
+        for strategy in STRATEGIES
+        for n in invocations
+    ]
+    scenarios = [
+        ScenarioConfig(
+            workload=workload,
+            strategy=strategy,
+            error_rate=0.0 if strategy == "ideal" else error_rate,
+            num_functions=n,
+        )
+        for workload, strategy, n in grid
+    ]
     rows: list[dict] = []
-    for workload in workloads:
-        for strategy in STRATEGIES:
-            for n in invocations:
-                summaries = run_repeated(
-                    ScenarioConfig(
-                        workload=workload,
-                        strategy=strategy,
-                        error_rate=0.0 if strategy == "ideal" else error_rate,
-                        num_functions=n,
-                    ),
-                    seeds,
-                )
-                row = mean_of(summaries)
-                rows.append(
-                    {
-                        "workload": workload,
-                        "strategy": strategy,
-                        "invocations": n,
-                        "mean_recovery_s": row["mean_recovery_s"],
-                        "total_recovery_s": row["total_recovery_s"],
-                        "makespan_s": row["makespan_s"],
-                    }
-                )
+    for (workload, strategy, n), summaries in zip(
+        grid, run_sweep(scenarios, seeds, jobs=jobs)
+    ):
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "workload": workload,
+                "strategy": strategy,
+                "invocations": n,
+                "mean_recovery_s": row["mean_recovery_s"],
+                "total_recovery_s": row["total_recovery_s"],
+                "makespan_s": row["makespan_s"],
+            }
+        )
     result = FigureResult(
         figure="fig5",
         title=f"Recovery time vs invocations (failure rate {error_rate:.0%})",

@@ -14,8 +14,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import DEFAULT_SEEDS, ERROR_RATE_SWEEP, ScenarioConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.report import FigureResult, pct_reduction
-from repro.experiments.runner import mean_of, run_repeated
+from repro.experiments.runner import mean_of
 from repro.workloads.profiles import ALL_WORKLOADS
 
 STRATEGIES = ("retry", "canary-checkpoint-only", "canary")
@@ -27,32 +28,35 @@ def run(
     error_rates: Sequence[float] = ERROR_RATE_SWEEP,
     workloads: Optional[Sequence[str]] = None,
     num_functions: int = 100,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     workloads = list(workloads or (w.name for w in ALL_WORKLOADS))
+    scenarios = [
+        ScenarioConfig(
+            workload=workload,
+            strategy=strategy,
+            error_rate=error_rate,
+            num_functions=num_functions,
+        )
+        for workload in workloads
+        for strategy in STRATEGIES
+        for error_rate in error_rates
+    ]
     rows: list[dict] = []
-    for workload in workloads:
-        for strategy in STRATEGIES:
-            for error_rate in error_rates:
-                summaries = run_repeated(
-                    ScenarioConfig(
-                        workload=workload,
-                        strategy=strategy,
-                        error_rate=error_rate,
-                        num_functions=num_functions,
-                    ),
-                    seeds,
-                )
-                row = mean_of(summaries)
-                rows.append(
-                    {
-                        "workload": workload,
-                        "strategy": strategy,
-                        "error_rate": error_rate,
-                        "mean_recovery_s": row["mean_recovery_s"],
-                        "total_recovery_s": row["total_recovery_s"],
-                        "checkpoints": row["checkpoints_taken"],
-                    }
-                )
+    for scenario, summaries in zip(
+        scenarios, run_sweep(scenarios, seeds, jobs=jobs)
+    ):
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "workload": scenario.workload,
+                "strategy": scenario.strategy,
+                "error_rate": scenario.error_rate,
+                "mean_recovery_s": row["mean_recovery_s"],
+                "total_recovery_s": row["total_recovery_s"],
+                "checkpoints": row["checkpoints_taken"],
+            }
+        )
     result = FigureResult(
         figure="fig6",
         title="Impact of checkpoints on recovery time "

@@ -7,11 +7,12 @@ lower than retry at a 50 % failure rate.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.config import DEFAULT_SEEDS, ERROR_RATE_SWEEP, ScenarioConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.report import FigureResult, pct_change, pct_reduction
-from repro.experiments.runner import mean_of, run_repeated
+from repro.experiments.runner import mean_of
 
 STRATEGIES = ("ideal", "retry", "canary")
 WORKLOAD = "dl-training"
@@ -23,30 +24,32 @@ def run(
     error_rates: Sequence[float] = ERROR_RATE_SWEEP,
     num_functions: int = 100,
     workload: str = WORKLOAD,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
+    scenarios = [
+        ScenarioConfig(
+            workload=workload,
+            strategy=strategy,
+            error_rate=error_rate,
+            num_functions=num_functions,
+        )
+        for strategy in STRATEGIES
+        for error_rate in ((0.0,) if strategy == "ideal" else error_rates)
+    ]
     rows: list[dict] = []
-    for strategy in STRATEGIES:
-        rates = (0.0,) if strategy == "ideal" else error_rates
-        for error_rate in rates:
-            summaries = run_repeated(
-                ScenarioConfig(
-                    workload=workload,
-                    strategy=strategy,
-                    error_rate=error_rate,
-                    num_functions=num_functions,
-                ),
-                seeds,
-            )
-            row = mean_of(summaries)
-            rows.append(
-                {
-                    "strategy": strategy,
-                    "error_rate": error_rate,
-                    "makespan_s": row["makespan_s"],
-                    "total_recovery_s": row["total_recovery_s"],
-                    "rel_spread": row["makespan_rel_spread"],
-                }
-            )
+    for scenario, summaries in zip(
+        scenarios, run_sweep(scenarios, seeds, jobs=jobs)
+    ):
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "strategy": scenario.strategy,
+                "error_rate": scenario.error_rate,
+                "makespan_s": row["makespan_s"],
+                "total_recovery_s": row["total_recovery_s"],
+                "rel_spread": row["makespan_rel_spread"],
+            }
+        )
     result = FigureResult(
         figure="fig7",
         title=f"Execution makespan, {workload} (100 invocations)",

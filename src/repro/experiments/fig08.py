@@ -8,11 +8,12 @@ and executes 43 % faster than retry on average.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.config import DEFAULT_SEEDS, ERROR_RATE_SWEEP, ScenarioConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.report import FigureResult, pct_change, pct_reduction
-from repro.experiments.runner import mean_of, run_repeated
+from repro.experiments.runner import mean_of
 
 STRATEGIES = ("ideal", "retry", "canary")
 WORKLOAD = "dl-training"
@@ -24,30 +25,32 @@ def run(
     error_rates: Sequence[float] = ERROR_RATE_SWEEP,
     num_functions: int = 100,
     workload: str = WORKLOAD,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
+    scenarios = [
+        ScenarioConfig(
+            workload=workload,
+            strategy=strategy,
+            error_rate=error_rate,
+            num_functions=num_functions,
+        )
+        for strategy in STRATEGIES
+        for error_rate in ((0.0,) if strategy == "ideal" else error_rates)
+    ]
     rows: list[dict] = []
-    for strategy in STRATEGIES:
-        rates = (0.0,) if strategy == "ideal" else error_rates
-        for error_rate in rates:
-            summaries = run_repeated(
-                ScenarioConfig(
-                    workload=workload,
-                    strategy=strategy,
-                    error_rate=error_rate,
-                    num_functions=num_functions,
-                ),
-                seeds,
-            )
-            row = mean_of(summaries)
-            rows.append(
-                {
-                    "strategy": strategy,
-                    "error_rate": error_rate,
-                    "cost_usd": row["cost_total"],
-                    "cost_replica_usd": row["cost_replica"],
-                    "makespan_s": row["makespan_s"],
-                }
-            )
+    for scenario, summaries in zip(
+        scenarios, run_sweep(scenarios, seeds, jobs=jobs)
+    ):
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "strategy": scenario.strategy,
+                "error_rate": scenario.error_rate,
+                "cost_usd": row["cost_total"],
+                "cost_replica_usd": row["cost_replica"],
+                "makespan_s": row["makespan_s"],
+            }
+        )
     result = FigureResult(
         figure="fig8",
         title=f"Cost and execution time, {workload}",

@@ -8,11 +8,12 @@ error rate; DR saves 25 % vs AR and 2 % vs LR in dollar cost on average.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.config import DEFAULT_SEEDS, ERROR_RATE_SWEEP, ScenarioConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.report import FigureResult, pct_reduction
-from repro.experiments.runner import mean_of, run_repeated
+from repro.experiments.runner import mean_of
 
 REPLICATION_STRATEGIES = ("dynamic", "aggressive", "lenient")
 WORKLOAD = "dl-training"
@@ -24,31 +25,34 @@ def run(
     error_rates: Sequence[float] = ERROR_RATE_SWEEP,
     num_functions: int = 100,
     workload: str = WORKLOAD,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
+    scenarios = [
+        ScenarioConfig(
+            workload=workload,
+            strategy="canary",
+            replication_strategy=replication,
+            error_rate=error_rate,
+            num_functions=num_functions,
+        )
+        for replication in REPLICATION_STRATEGIES
+        for error_rate in error_rates
+    ]
     rows: list[dict] = []
-    for replication in REPLICATION_STRATEGIES:
-        for error_rate in error_rates:
-            summaries = run_repeated(
-                ScenarioConfig(
-                    workload=workload,
-                    strategy="canary",
-                    replication_strategy=replication,
-                    error_rate=error_rate,
-                    num_functions=num_functions,
-                ),
-                seeds,
-            )
-            row = mean_of(summaries)
-            rows.append(
-                {
-                    "replication": replication,
-                    "error_rate": error_rate,
-                    "cost_usd": row["cost_total"],
-                    "cost_replica_usd": row["cost_replica"],
-                    "makespan_s": row["makespan_s"],
-                    "replicas": row["replicas_launched"],
-                }
-            )
+    for scenario, summaries in zip(
+        scenarios, run_sweep(scenarios, seeds, jobs=jobs)
+    ):
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "replication": scenario.replication_strategy,
+                "error_rate": scenario.error_rate,
+                "cost_usd": row["cost_total"],
+                "cost_replica_usd": row["cost_replica"],
+                "makespan_s": row["makespan_s"],
+                "replicas": row["replicas_launched"],
+            }
+        )
     result = FigureResult(
         figure="fig9",
         title=f"Replication strategies (AR/LR/DR), {workload}",

@@ -9,11 +9,12 @@ RR and AS degrade as the error rate increases.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.config import DEFAULT_SEEDS, ERROR_RATE_SWEEP, ScenarioConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.report import FigureResult, pct_change
-from repro.experiments.runner import mean_of, run_repeated
+from repro.experiments.runner import mean_of
 
 STRATEGIES = ("canary", "request-replication", "active-standby")
 WORKLOAD = "dl-training"
@@ -25,28 +26,31 @@ def run(
     error_rates: Sequence[float] = ERROR_RATE_SWEEP,
     num_functions: int = 100,
     workload: str = WORKLOAD,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
+    scenarios = [
+        ScenarioConfig(
+            workload=workload,
+            strategy=strategy,
+            error_rate=error_rate,
+            num_functions=num_functions,
+        )
+        for strategy in STRATEGIES
+        for error_rate in error_rates
+    ]
     rows: list[dict] = []
-    for strategy in STRATEGIES:
-        for error_rate in error_rates:
-            summaries = run_repeated(
-                ScenarioConfig(
-                    workload=workload,
-                    strategy=strategy,
-                    error_rate=error_rate,
-                    num_functions=num_functions,
-                ),
-                seeds,
-            )
-            row = mean_of(summaries)
-            rows.append(
-                {
-                    "strategy": strategy,
-                    "error_rate": error_rate,
-                    "cost_usd": row["cost_total"],
-                    "makespan_s": row["makespan_s"],
-                }
-            )
+    for scenario, summaries in zip(
+        scenarios, run_sweep(scenarios, seeds, jobs=jobs)
+    ):
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "strategy": scenario.strategy,
+                "error_rate": scenario.error_rate,
+                "cost_usd": row["cost_total"],
+                "makespan_s": row["makespan_s"],
+            }
+        )
     result = FigureResult(
         figure="fig10",
         title=f"Canary vs RR and AS, {workload}",

@@ -10,11 +10,12 @@ storage; overall up to 80 % lower recovery time.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.config import DEFAULT_SEEDS, ScenarioConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.report import FigureResult, pct_reduction
-from repro.experiments.runner import mean_of, run_repeated
+from repro.experiments.runner import mean_of
 
 STRATEGIES = ("ideal", "retry", "canary")
 INVOCATIONS = (200, 400, 800, 1000)
@@ -33,32 +34,36 @@ def run(
     invocations: Sequence[int] = INVOCATIONS,
     error_rate: float = ERROR_RATE,
     workload: str = WORKLOAD,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
+    grid = [(strategy, n) for strategy in STRATEGIES for n in invocations]
+    scenarios = [
+        ScenarioConfig(
+            workload=workload,
+            strategy=strategy,
+            error_rate=0.0 if strategy == "ideal" else error_rate,
+            num_functions=n,
+            node_failure_count=(
+                0 if strategy == "ideal" else node_failures_for(n)
+            ),
+        )
+        for strategy, n in grid
+    ]
     rows: list[dict] = []
-    for strategy in STRATEGIES:
-        for n in invocations:
-            ideal = strategy == "ideal"
-            summaries = run_repeated(
-                ScenarioConfig(
-                    workload=workload,
-                    strategy=strategy,
-                    error_rate=0.0 if ideal else error_rate,
-                    num_functions=n,
-                    node_failure_count=0 if ideal else node_failures_for(n),
-                ),
-                seeds,
-            )
-            row = mean_of(summaries)
-            rows.append(
-                {
-                    "strategy": strategy,
-                    "invocations": n,
-                    "total_recovery_s": row["total_recovery_s"],
-                    "mean_recovery_s": row["mean_recovery_s"],
-                    "makespan_s": row["makespan_s"],
-                    "failures": row["failures"],
-                }
-            )
+    for (strategy, n), summaries in zip(
+        grid, run_sweep(scenarios, seeds, jobs=jobs)
+    ):
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "strategy": strategy,
+                "invocations": n,
+                "total_recovery_s": row["total_recovery_s"],
+                "mean_recovery_s": row["mean_recovery_s"],
+                "makespan_s": row["makespan_s"],
+                "failures": row["failures"],
+            }
+        )
     result = FigureResult(
         figure="fig11",
         title="Recovery time vs concurrent functions "

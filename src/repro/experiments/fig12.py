@@ -8,18 +8,19 @@ Canary stays within ~2.75 % of ideal and is up to 17 % faster than retry.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.config import DEFAULT_SEEDS, ScenarioConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.report import FigureResult, pct_reduction
-from repro.experiments.runner import mean_of, run_repeated
+from repro.experiments.runner import mean_of
 
 STRATEGIES = ("ideal", "retry", "canary")
 NODE_COUNTS = (1, 2, 4, 8, 16)
 ERROR_RATE = 0.15
 WORKLOAD = "web-service"
 NUM_FUNCTIONS = 5000
-JOBS = 10  # submitted as a batch of jobs; the concurrency limit queues them
+BATCH_JOBS = 10  # submitted as a batch of jobs; the concurrency limit queues them
 
 
 def run(
@@ -28,32 +29,35 @@ def run(
     node_counts: Sequence[int] = NODE_COUNTS,
     error_rate: float = ERROR_RATE,
     num_functions: int = NUM_FUNCTIONS,
-    jobs: int = JOBS,
+    batch_jobs: int = BATCH_JOBS,
     workload: str = WORKLOAD,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
+    grid = [(strategy, nodes) for strategy in STRATEGIES for nodes in node_counts]
+    scenarios = [
+        ScenarioConfig(
+            workload=workload,
+            strategy=strategy,
+            error_rate=0.0 if strategy == "ideal" else error_rate,
+            num_functions=num_functions,
+            jobs=batch_jobs,
+            num_nodes=nodes,
+        )
+        for strategy, nodes in grid
+    ]
     rows: list[dict] = []
-    for strategy in STRATEGIES:
-        for nodes in node_counts:
-            summaries = run_repeated(
-                ScenarioConfig(
-                    workload=workload,
-                    strategy=strategy,
-                    error_rate=0.0 if strategy == "ideal" else error_rate,
-                    num_functions=num_functions,
-                    jobs=jobs,
-                    num_nodes=nodes,
-                ),
-                seeds,
-            )
-            row = mean_of(summaries)
-            rows.append(
-                {
-                    "strategy": strategy,
-                    "nodes": nodes,
-                    "makespan_s": row["makespan_s"],
-                    "total_recovery_s": row["total_recovery_s"],
-                }
-            )
+    for (strategy, nodes), summaries in zip(
+        grid, run_sweep(scenarios, seeds, jobs=jobs)
+    ):
+        row = mean_of(summaries)
+        rows.append(
+            {
+                "strategy": strategy,
+                "nodes": nodes,
+                "makespan_s": row["makespan_s"],
+                "total_recovery_s": row["total_recovery_s"],
+            }
+        )
     result = FigureResult(
         figure="fig12",
         title=f"Cluster scaling, {num_functions} invocations, "

@@ -64,9 +64,21 @@ def run_scenario(scenario: ScenarioConfig, seed: int = 0) -> RunSummary:
 def run_repeated(
     scenario: ScenarioConfig,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    *,
+    jobs: Optional[int] = 1,
 ) -> list[RunSummary]:
-    """Run a scenario once per seed (paper: averages of 10 executions)."""
-    return [run_scenario(scenario, seed) for seed in seeds]
+    """Run a scenario once per seed (paper: averages of 10 executions).
+
+    ``jobs`` fans the per-seed runs out over worker processes via
+    :func:`repro.experiments.parallel.run_cells`; the default of 1 keeps
+    the historical in-process behaviour.  Results are seed-ordered either
+    way.
+    """
+    if jobs == 1:
+        return [run_scenario(scenario, seed) for seed in seeds]
+    from repro.experiments.parallel import run_cells  # avoid import cycle
+
+    return run_cells([(scenario, seed) for seed in seeds], jobs=jobs)
 
 
 _MEAN_FIELDS = (

@@ -141,9 +141,12 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         fired = 0
+        queue = self._queue
         try:
+            # Inlined step(): this loop dominates every simulated run, so
+            # avoid the per-event method dispatch and re-checking the queue.
             while True:
-                next_time = self._queue.peek_time()
+                next_time = queue.peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
@@ -151,7 +154,13 @@ class Simulator:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                self.step()
+                event = queue.pop()
+                self._now = event.time
+                callback = event.callback
+                event.callback = None
+                self._event_count += 1
+                if callback is not None:
+                    callback()
                 fired += 1
         finally:
             self._running = False

@@ -3,17 +3,36 @@
 Events are ordered by (time, priority, sequence).  The sequence number makes
 ordering total and deterministic: two events scheduled for the same instant
 fire in scheduling order, independent of heap internals.
+
+Hot-path notes
+--------------
+``Event`` is a slotted plain class (no dataclass machinery, no ``__dict__``)
+because the simulator allocates one per scheduled callback — millions per
+sweep.  The heap sort key is computed once at construction and stored on the
+event (:attr:`Event.key`) instead of being re-derived on every comparison or
+rebuild.
+
+Cancellation is lazy — a cancelled event stays in the heap until it
+surfaces — but the queue now bounds the garbage: when cancelled entries
+outnumber live ones (and the heap is big enough to matter) the queue
+compacts itself, dropping every dead entry in one O(n) rebuild.  Workloads
+that cancel heavily (timeouts, standby teardowns) previously accumulated
+dead entries until they happened to be popped; compaction keeps heap size
+proportional to the number of *live* events.  :meth:`EventQueue.compact` is
+also public so callers can force a rebuild at a known point.
+
+``peek_time`` is a pure read: the queue maintains the invariant that the
+heap top is never a cancelled event (dead tops are pruned inside ``cancel``
+and ``pop``), so peeking no longer mutates the heap as a side effect.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=False)
 class Event:
     """A single scheduled callback.
 
@@ -21,39 +40,80 @@ class Event:
         time: Absolute virtual time at which the event fires.
         priority: Lower fires first among same-time events (before sequence).
         seq: Monotonic tie-breaker assigned by the queue.
+        key: Precomputed heap key ``(time, priority, seq)``.
         callback: Zero-argument callable invoked when the event fires.
         cancelled: Cancelled events stay in the heap but are skipped.
         label: Optional human-readable tag used in traces and error messages.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Optional[Callable[[], Any]]
-    cancelled: bool = False
-    label: str = ""
+    __slots__ = ("time", "priority", "seq", "key", "callback", "cancelled",
+                 "label")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Optional[Callable[[], Any]],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.key = (time, priority, seq)
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
 
     def sort_key(self) -> tuple:
-        return (self.time, self.priority, self.seq)
+        return self.key
 
     def cancel(self) -> None:
         self.cancelled = True
         self.callback = None  # break reference cycles early
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return (f"Event(t={self.time}, prio={self.priority}, "
+                f"seq={self.seq}, {state}, label={self.label!r})")
+
 
 class EventQueue:
-    """Min-heap of :class:`Event` with deterministic total ordering."""
+    """Min-heap of :class:`Event` with deterministic total ordering.
 
-    def __init__(self) -> None:
+    Args:
+        compaction_threshold: Minimum heap size before automatic compaction
+            kicks in; below it the O(n) rebuild costs more than it saves.
+    """
+
+    def __init__(self, *, compaction_threshold: int = 64) -> None:
         self._heap: list[tuple[tuple, Event]] = []
         self._counter = itertools.count()
         self._live = 0
+        self._cancelled = 0
+        self._compaction_threshold = compaction_threshold
+        self._compactions = 0
 
     def __len__(self) -> int:
         return self._live
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap entries, live plus not-yet-collected cancelled."""
+        return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap rebuilds performed so far."""
+        return self._compactions
 
     def push(
         self,
@@ -63,39 +123,67 @@ class EventQueue:
         priority: int = 0,
         label: str = "",
     ) -> Event:
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            callback=callback,
-            label=label,
-        )
-        heapq.heappush(self._heap, (event.sort_key(), event))
+        event = Event(time, priority, next(self._counter), callback, label)
+        heapq.heappush(self._heap, (event.key, event))
         self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
-        """Mark *event* cancelled; it is dropped lazily when popped."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        """Mark *event* cancelled; it is dropped lazily or at compaction."""
+        if event.cancelled:
+            return
+        event.cancel()
+        self._live -= 1
+        self._cancelled += 1
+        heap = self._heap
+        if heap and heap[0][1].cancelled:
+            self._prune_top()
+        if (len(heap) >= self._compaction_threshold
+                and self._cancelled * 2 > len(heap)):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop every cancelled entry and re-heapify.  Returns entries freed.
+
+        Compaction is invisible to ordering: live entries keep their
+        precomputed keys, and ``heapify`` restores the heap invariant over
+        exactly the surviving entries.
+        """
+        if not self._cancelled:
+            return 0
+        before = len(self._heap)
+        self._heap = [entry for entry in self._heap if not entry[1].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
+        return before - len(self._heap)
+
+    def _prune_top(self) -> None:
+        """Restore the 'heap top is live' invariant after a pop/cancel."""
+        heap = self._heap
+        while heap and heap[0][1].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
 
     def pop(self) -> Event:
         """Pop the earliest live event.  Raises IndexError when empty."""
-        while self._heap:
-            _, event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            _, event = heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._live -= 1
+            if heap and heap[0][1].cancelled:
+                self._prune_top()
             return event
         raise IndexError("pop from empty EventQueue")
 
     def peek_time(self) -> Optional[float]:
-        """Virtual time of the next live event, or None when empty."""
-        while self._heap:
-            _, event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            return event.time
-        return None
+        """Virtual time of the next live event, or None when empty.
+
+        Pure read — the top-is-live invariant means no lazy deletion needs
+        to happen here.
+        """
+        heap = self._heap
+        return heap[0][1].time if heap else None

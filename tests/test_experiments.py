@@ -180,7 +180,7 @@ class TestFigureModulesSmoke:
             seeds=(0,),
             node_counts=(1, 4),
             num_functions=200,
-            jobs=2,
+            batch_jobs=2,
         )
         for strategy in ("ideal", "retry", "canary"):
             small = result.value("makespan_s", strategy=strategy, nodes=1)

@@ -58,6 +58,88 @@ class TestEventQueue:
         assert EventQueue().peek_time() is None
 
 
+class TestEventQueueCompaction:
+    def test_peek_time_does_not_mutate_the_heap(self):
+        q = EventQueue(compaction_threshold=1000)
+        events = [q.push(float(i), lambda: None) for i in range(10)]
+        for event in events[1:5]:  # cancel mid-heap entries, keep the top
+            q.cancel(event)
+        size_before = q.heap_size
+        for _ in range(3):
+            assert q.peek_time() == 0.0
+        assert q.heap_size == size_before
+
+    def test_cancelling_the_top_restores_a_live_top(self):
+        q = EventQueue(compaction_threshold=1000)
+        first = q.push(1.0, lambda: None)
+        second = q.push(2.0, lambda: None)
+        q.push(3.0, lambda: None)
+        q.cancel(first)
+        q.cancel(second)
+        # peek is pure, so the invariant must hold eagerly after cancel.
+        assert q.peek_time() == 3.0
+        assert q.cancelled_pending == 0
+
+    def test_auto_compaction_when_cancelled_majority(self):
+        q = EventQueue(compaction_threshold=64)
+        # Interleave so cancelled events sit throughout the heap, not on top.
+        keep = [q.push(float(2 * i), lambda: None) for i in range(60)]
+        drop = [q.push(float(2 * i + 1), lambda: None) for i in range(140)]
+        for event in drop:
+            q.cancel(event)
+        assert q.compactions >= 1
+        # Garbage stays bounded: dead entries never exceed half the heap.
+        assert q.cancelled_pending * 2 <= q.heap_size
+        assert q.heap_size < 200
+        assert len(q) == 60
+        assert [q.pop().time for _ in range(60)] == [e.time for e in keep]
+
+    def test_no_auto_compaction_below_threshold(self):
+        q = EventQueue(compaction_threshold=64)
+        drop = [q.push(float(i), lambda: None) for i in range(10)]
+        live = q.push(99.0, lambda: None)
+        for event in drop[1:]:  # keep the top live event's predecessor dead
+            q.cancel(event)
+        assert q.compactions == 0
+        assert q.pop() is drop[0]
+        assert q.pop() is live
+
+    def test_explicit_compact_reports_freed_entries(self):
+        q = EventQueue(compaction_threshold=10_000)
+        events = [q.push(float(i), lambda: None) for i in range(50)]
+        for event in events[10:40]:
+            q.cancel(event)
+        pending = q.cancelled_pending
+        assert pending > 0
+        freed = q.compact()
+        assert freed == pending
+        assert q.cancelled_pending == 0
+        assert q.compact() == 0  # idempotent when nothing is cancelled
+        remaining = [q.pop().time for _ in range(len(q))]
+        assert remaining == sorted(remaining)
+        assert len(remaining) == 20
+
+    def test_compaction_preserves_priority_and_fifo_order(self):
+        q = EventQueue(compaction_threshold=10_000)
+        q.push(1.0, lambda: None, priority=1, label="late")
+        q.push(1.0, lambda: None, priority=0, label="early-a")
+        q.push(1.0, lambda: None, priority=0, label="early-b")
+        doomed = [q.push(0.5, lambda: None) for _ in range(5)]
+        for event in doomed:
+            q.cancel(event)
+        q.compact()
+        assert [q.pop().label for _ in range(3)] == [
+            "early-a", "early-b", "late"
+        ]
+
+    def test_event_key_precomputed_and_slots(self):
+        q = EventQueue()
+        event = q.push(2.5, lambda: None, priority=3)
+        assert event.key == (2.5, 3, event.seq)
+        assert event.sort_key() == event.key
+        assert not hasattr(event, "__dict__")
+
+
 class TestSimulator:
     def test_clock_advances_to_event_times(self):
         sim = Simulator()
