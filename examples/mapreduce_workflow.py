@@ -82,7 +82,7 @@ def real_wordcount() -> None:
     print(f"kills injected    : {result.total_kills}")
     print(f"mapper attempts   : {result.mapper_attempts}")
     print(f"reducer attempts  : {result.reducer_attempts}")
-    print(f"top words         : "
+    print("top words         : "
           + ", ".join(f"{w}={c}" for w, c in top))
     print("counts identical to the failure-free ground truth ✔")
 

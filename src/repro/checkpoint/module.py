@@ -18,13 +18,16 @@ surviving one, which is exactly the shared-storage argument of §V-D-6.
 from __future__ import annotations
 
 import collections
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.checkpoint.policy import CheckpointPolicy
 from repro.checkpoint.records import CheckpointRecord
 from repro.core.database import CanaryDatabase
 from repro.core.ids import IdGenerator
 from repro.storage.router import CheckpointStorageRouter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import FlowHandle, FlowNetwork
 
 
 class CheckpointingModule:
@@ -115,6 +118,92 @@ class CheckpointingModule:
         storage write (the asynchronous flush to shared storage is off the
         critical path and not charged).
         """
+        record, write_time = self._commit(
+            job_id=job_id,
+            function_id=function_id,
+            state_index=state_index,
+            size_bytes=size_bytes,
+            now=now,
+            node_id=node_id,
+            payload=payload,
+            state_duration_s=state_duration_s,
+        )
+        if self.flush_lag_s > 0 and node_id is not None:
+            self._pending_flush[record.checkpoint_id] = (
+                node_id,
+                now + self.flush_lag_s,
+            )
+        self._maybe_adapt_interval(
+            function_id, serialize_overhead_s + write_time, state_duration_s
+        )
+        return record, serialize_overhead_s + write_time
+
+    def record_state_async(
+        self,
+        *,
+        network: "FlowNetwork",
+        job_id: str,
+        function_id: str,
+        state_index: int,
+        size_bytes: float,
+        serialize_overhead_s: float,
+        now: float,
+        node_id: Optional[str] = None,
+        payload: Any = None,
+        state_duration_s: float = 0.0,
+        on_done: Callable[[CheckpointRecord, float], None],
+    ) -> tuple[CheckpointRecord, "FlowHandle"]:
+        """Network-modeled :meth:`record_state`: the write is a fabric flow.
+
+        Bookkeeping (record, database row, retention) commits up front,
+        exactly like the legacy path; the *charge* is a flow on the fabric
+        whose duration depends on link contention.  ``on_done(record,
+        elapsed)`` fires when the write lands; cancelling the returned
+        handle (attempt death) abandons the charge, not the record.
+        """
+        record, _ = self._commit(
+            job_id=job_id,
+            function_id=function_id,
+            state_index=state_index,
+            size_bytes=size_bytes,
+            now=now,
+            node_id=node_id,
+            payload=payload,
+            state_duration_s=state_duration_s,
+        )
+
+        def _written() -> None:
+            elapsed = network.sim.now - now
+            self._maybe_adapt_interval(function_id, elapsed, state_duration_s)
+            on_done(record, elapsed)
+
+        handle = network.write_checkpoint(
+            tier_name=record.ref.tier_name,
+            node_id=node_id,
+            size_bytes=size_bytes,
+            on_complete=_written,
+            extra_latency_s=serialize_overhead_s,
+            label=f"ckpt:{function_id}:{state_index}",
+        )
+        if self.flush_lag_s > 0 and node_id is not None:
+            self._start_flush(
+                network, record.checkpoint_id, node_id, size_bytes, now
+            )
+        return record, handle
+
+    def _commit(
+        self,
+        *,
+        job_id: str,
+        function_id: str,
+        state_index: int,
+        size_bytes: float,
+        now: float,
+        node_id: Optional[str],
+        payload: Any,
+        state_duration_s: float,
+    ) -> tuple[CheckpointRecord, float]:
+        """Shared bookkeeping of Algorithm 1 (route, retain, persist)."""
         checkpoint_id = self.ids.checkpoint_id(function_id)
         key = f"ckpt/{function_id}/{checkpoint_id}"
         ref, write_time = self.router.write(
@@ -144,18 +233,40 @@ class CheckpointingModule:
                 "available": True,
             }
         )
-        if self.flush_lag_s > 0 and node_id is not None:
-            self._pending_flush[checkpoint_id] = (
-                node_id,
-                now + self.flush_lag_s,
-            )
         self._evict(function_id, chain, state_duration_s)
         self.checkpoints_taken += 1
         self.bytes_written += size_bytes
-        self._maybe_adapt_interval(
-            function_id, serialize_overhead_s + write_time, state_duration_s
+        return record, write_time
+
+    def _start_flush(
+        self,
+        network: "FlowNetwork",
+        checkpoint_id: str,
+        node_id: str,
+        size_bytes: float,
+        now: float,
+    ) -> None:
+        """Model the asynchronous flush as a background fabric flow.
+
+        The checkpoint becomes durable when the copy lands (never earlier
+        than the configured lag); if the node dies first, the flow is
+        cancelled by the fabric and the entry stays pending → lost.
+        """
+        self._pending_flush[checkpoint_id] = (node_id, float("inf"))
+
+        def _flushed() -> None:
+            if checkpoint_id in self._pending_flush:
+                self._pending_flush[checkpoint_id] = (
+                    node_id,
+                    max(now + self.flush_lag_s, network.sim.now),
+                )
+
+        network.flush_copy(
+            node_id=node_id,
+            size_bytes=size_bytes,
+            on_complete=_flushed,
+            label=f"flush:{checkpoint_id}",
         )
-        return record, serialize_overhead_s + write_time
 
     def _evict(
         self,

@@ -6,8 +6,11 @@ Installed as ``canary-sim`` (also runnable via ``python -m repro``):
 
     canary-sim workloads                       # list workload profiles
     canary-sim strategies                      # list recovery strategies
+    canary-sim tiers                           # list storage tiers
+    canary-sim topology                        # racks + network presets
     canary-sim run --workload dl-training --strategy canary \
                --error-rate 0.15 --functions 100 --seed 0
+    canary-sim run --workload graph-bfs --network 10gbe   # contended fabric
     canary-sim figure fig7 --fast              # regenerate a paper figure
 """
 
@@ -23,6 +26,7 @@ from repro.common.types import RecoveryStrategyName, ReplicationStrategyName
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_scenario
+from repro.network.config import NETWORK_PRESETS
 from repro.workloads.profiles import WORKLOADS_BY_NAME
 
 
@@ -45,6 +49,52 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tiers(args: argparse.Namespace) -> int:
+    from repro.storage.tiers import DEFAULT_TIERS
+
+    print(f"{'name':10s} {'read lat':>9s} {'write lat':>9s} "
+          f"{'read bw':>10s} {'write bw':>10s} {'shared':>6s} {'durable':>7s}")
+    for tier in DEFAULT_TIERS:
+        print(
+            f"{tier.name:10s} {tier.read_latency_s * 1e3:7.1f}ms "
+            f"{tier.write_latency_s * 1e3:7.1f}ms "
+            f"{tier.read_bandwidth / 2**30:7.2f}GiB "
+            f"{tier.write_bandwidth / 2**30:7.2f}GiB "
+            f"{'yes' if tier.shared else 'no':>6s} "
+            f"{'yes' if tier.survives_node_failure else 'no':>7s}"
+        )
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.cluster.topology import Topology
+
+    topology = Topology(num_racks=args.racks)
+    racks: dict[str, list[str]] = {}
+    for index in range(args.nodes):
+        racks.setdefault(topology.rack_for(index), []).append(
+            f"node-{index:02d}"
+        )
+    for rack in sorted(racks):
+        print(f"{rack}: {' '.join(racks[rack])}")
+    print()
+    print(f"{'preset':8s} {'nic':>9s} {'uplink':>9s} {'core':>9s} "
+          f"{'registry':>9s} {'hop lat':>8s}")
+    for name in sorted(NETWORK_PRESETS):
+        preset = NETWORK_PRESETS[name]
+        if preset is None:
+            print(f"{name:8s} {'(legacy uncontended model)':>9s}")
+            continue
+        print(
+            f"{name:8s} {preset.nic_bandwidth * 8 / 1e9:6.0f}Gb "
+            f"{preset.uplink_bandwidth * 8 / 1e9:6.0f}Gb "
+            f"{preset.core_bandwidth * 8 / 1e9:6.0f}Gb "
+            f"{preset.registry_bandwidth * 8 / 1e9:6.0f}Gb "
+            f"{preset.hop_latency_s * 1e6:5.0f}us"
+        )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = ScenarioConfig(
         workload=args.workload,
@@ -56,6 +106,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         replication_strategy=args.replication,
         checkpoint_interval=args.checkpoint_interval,
         node_failure_count=args.node_failures,
+        network=NETWORK_PRESETS[args.network],
     )
     summary = run_scenario(scenario, seed=args.seed)
     if args.json:
@@ -73,6 +124,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"checkpoints       : {summary.checkpoints_taken} "
           f"({summary.checkpoint_time_s:.2f}s charged)")
     print(f"replicas launched : {summary.replicas_launched}")
+    if args.network != "off":
+        print(f"network           : {summary.network_flows} flows, "
+              f"{summary.network_bytes / 2**30:.2f}GiB moved, "
+              f"{summary.network_contention_s:.2f}s contention delay, "
+              f"peak link util {summary.network_peak_utilization:.1%}")
     print(f"cost              : ${summary.cost_total:.4f} "
           f"(functions ${summary.cost_function:.4f}, "
           f"replicas ${summary.cost_replica:.4f}, "
@@ -134,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("strategies", help="list recovery strategies").set_defaults(
         func=_cmd_strategies
     )
+    sub.add_parser("tiers", help="list storage tier constants").set_defaults(
+        func=_cmd_tiers
+    )
+    topology = sub.add_parser(
+        "topology", help="show rack assignments and network link presets"
+    )
+    topology.add_argument("--nodes", type=int, default=16)
+    topology.add_argument("--racks", type=int, default=4)
+    topology.set_defaults(func=_cmd_topology)
 
     run = sub.add_parser("run", help="simulate one scenario")
     run.add_argument("--workload", default="dl-training",
@@ -149,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--checkpoint-interval", type=int, default=1)
     run.add_argument("--node-failures", type=int, default=0)
+    run.add_argument("--network", default="off",
+                     choices=sorted(NETWORK_PRESETS),
+                     help="fabric model preset (off = legacy uncontended)")
     run.add_argument("--json", action="store_true",
                      help="emit the summary as JSON")
     run.set_defaults(func=_cmd_run)

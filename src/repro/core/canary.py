@@ -38,7 +38,10 @@ from repro.faas.limits import PlatformLimits
 from repro.faas.runtimes import RuntimeRegistry
 from repro.faults.injector import FailureInjector
 from repro.metrics.collector import MetricsCollector
+from repro.metrics.network import collect_network_stats
 from repro.metrics.summary import RunSummary, summarize
+from repro.network.config import NetworkModelConfig
+from repro.network.fabric import FlowNetwork
 from repro.replication.estimator import FailureRateEstimator
 from repro.replication.module import ReplicationModule
 from repro.replication.placement import ReplicaPlacer
@@ -90,6 +93,7 @@ class CanaryPlatform:
         start_rate_limit: Optional[float] = None,
         reuse_containers: bool = False,
         heterogeneity_profiles: Optional[tuple] = None,
+        network: Optional[NetworkModelConfig] = None,
     ) -> None:
         self.seed = seed
         self.config = config or PlatformConfig()
@@ -110,6 +114,22 @@ class CanaryPlatform:
         self.database = CanaryDatabase()
         self._register_workers()
         self.ids = IdGenerator()
+        self.kv = KeyValueStore()
+        self.tiers = TierRegistry()
+        # The flow-level fabric (None = legacy uncontended transfers).
+        # Its failure listener registers before the controller's, so a
+        # dying node's flows are torn down before loss recovery starts.
+        self.network: Optional[FlowNetwork] = None
+        if network is not None and network.enabled:
+            self.network = FlowNetwork(
+                self.sim,
+                cluster=self.cluster,
+                tiers=self.tiers,
+                config=network,
+            )
+            self.cluster.on_node_failure(
+                lambda node, lost: self.network.fail_endpoint(node.node_id)
+            )
         self.controller = FaaSController(
             self.sim,
             self.cluster,
@@ -118,9 +138,8 @@ class CanaryPlatform:
             contention_gamma=self.config.contention_gamma,
             start_rate_limit=start_rate_limit,
             reuse_containers=reuse_containers,
+            network=self.network,
         )
-        self.kv = KeyValueStore()
-        self.tiers = TierRegistry()
         self.router = CheckpointStorageRouter(
             self.kv,
             self.tiers,
@@ -160,6 +179,7 @@ class CanaryPlatform:
             metrics=self.metrics,
             injector=self.injector,
             config=self.config,
+            network=self.network,
         )
         self.strategy = make_strategy(strategy, self.ctx)
         self.ctx.strategy = self.strategy
@@ -374,4 +394,5 @@ class CanaryPlatform:
                 else 0
             ),
             seed=self.seed,
+            network=collect_network_stats(self.network, self.sim.now),
         )

@@ -23,6 +23,7 @@ from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.execution import FunctionExecution
+    from repro.network.fabric import FlowNetwork
     from repro.replication.module import ReplicationModule
     from repro.strategies.base import RecoveryStrategy
 
@@ -41,6 +42,8 @@ class PlatformContext:
     metrics: MetricsCollector
     injector: FailureInjector
     config: PlatformConfig
+    #: Flow-level fabric; None selects the legacy uncontended transfers.
+    network: Optional["FlowNetwork"] = None
     replication: Optional["ReplicationModule"] = None
     strategy: Optional["RecoveryStrategy"] = None
     #: container_id -> owning execution, for dispatching loss events of

@@ -53,6 +53,8 @@ class Attempt:
         self.via = via  # launch / cold / replica / standby / sibling
         self.running_states = False
         self.done = False
+        # Timer or network-flow handle driving the next phase transition;
+        # both expose ``cancel()`` (see FlowHandle duck-typing note).
         self.state_handle: Optional[EventHandle] = None
         self.kill_handle: Optional[EventHandle] = None
         self.timeout_handle: Optional[EventHandle] = None
@@ -265,6 +267,18 @@ class FunctionExecution:
         if adoption:
             delay += ctx.config.adoption_overhead_s
         if restore_record is not None:
+            if ctx.network is not None:
+                # The checkpoint fetch (part of t_res, Eq. 2) is a flow on
+                # the fabric: it competes with every other transfer, which
+                # is what makes mass recovery contend (fig. 11 at scale).
+                attempt.state_handle = ctx.network.fetch_checkpoint(
+                    restore_record.ref,
+                    dest_node=container.node.node_id,
+                    on_complete=lambda: self._begin_states(attempt),
+                    extra_latency_s=delay,
+                    label=f"restore:{attempt.attempt_id}",
+                )
+                return attempt
             delay += ctx.checkpointer.restore_time(restore_record)
         elif from_state == 0:
             delay += container.node.scale_duration(self.profile.input_fetch_s)
@@ -402,7 +416,28 @@ class FunctionExecution:
             and not attempt.secondary
             and self.ctx.checkpointer.should_checkpoint(self.function_id, index)
         )
-        if take_ckpt:
+        if take_ckpt and self.ctx.network is not None:
+            # Network-modeled checkpoint: the write is a flow competing
+            # for fabric bandwidth; the next state starts when it lands.
+            def _ckpt_done(record, elapsed: float) -> None:
+                if attempt.done or self.completed:
+                    return
+                self.ctx.metrics.note_checkpoint(self.function_id, elapsed)
+                self._schedule_next_state(attempt)
+
+            _, attempt.state_handle = self.ctx.checkpointer.record_state_async(
+                network=self.ctx.network,
+                job_id=self.job.job_id,
+                function_id=self.function_id,
+                state_index=index,
+                size_bytes=self.profile.checkpoint_size_bytes,
+                serialize_overhead_s=self.profile.serialize_overhead_s,
+                now=self.ctx.sim.now,
+                node_id=attempt.container.node.node_id,
+                state_duration_s=self.profile.state_duration_s,
+                on_done=_ckpt_done,
+            )
+        elif take_ckpt:
             _, duration = self.ctx.checkpointer.record_state(
                 job_id=self.job.job_id,
                 function_id=self.function_id,

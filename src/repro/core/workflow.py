@@ -17,7 +17,7 @@ exactly-once end-to-end whenever each stage is.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.jobs import Job, JobRequest
 

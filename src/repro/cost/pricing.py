@@ -8,7 +8,7 @@ standbys, which is exactly where the baselines lose (Fig. 8–10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.faas.container import Container, ContainerPurpose

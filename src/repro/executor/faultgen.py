@@ -8,7 +8,7 @@ replayed against the canary and retry strategies.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

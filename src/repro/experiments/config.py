@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.checkpoint.policy import CheckpointPolicy
 from repro.common.types import RecoveryStrategyName, ReplicationStrategyName
 from repro.core.config import PlatformConfig
+from repro.network.config import NetworkModelConfig
 
 #: Error-rate sweep used throughout §V ("vary the error rate from 1% to 50%").
 ERROR_RATE_SWEEP: tuple[float, ...] = (0.01, 0.05, 0.10, 0.15, 0.25, 0.50)
@@ -40,6 +41,9 @@ class ScenarioConfig:
     node_failure_window: tuple[float, float] = (0.0, 0.0)
     refailure_rate: Optional[float] = None
     platform_config: Optional[PlatformConfig] = None
+    #: Flow-level fabric model; None keeps the legacy uncontended charges
+    #: (byte-identical to pre-network results).
+    network: Optional[NetworkModelConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_functions <= 0:

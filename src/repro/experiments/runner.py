@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 import math
 from typing import Iterable, Optional, Sequence
 
@@ -45,6 +44,7 @@ def run_scenario(scenario: ScenarioConfig, seed: int = 0) -> RunSummary:
         ),
         checkpoint_policy=scenario.checkpoint_policy,
         config=config,
+        network=scenario.network,
     )
     for _ in range(scenario.jobs):
         platform.submit_job(

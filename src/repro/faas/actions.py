@@ -11,7 +11,7 @@ executor uses it to invoke real Python callables by name.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.common.errors import ReproError

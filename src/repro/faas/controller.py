@@ -11,18 +11,22 @@ from __future__ import annotations
 
 import collections
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
+
+from typing import TYPE_CHECKING
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
-from repro.common.errors import PlacementError
 from repro.common.types import ContainerState, RuntimeKind
 from repro.faas.container import Container, ContainerPurpose
 from repro.faas.invoker import Invoker
 from repro.faas.limits import PlatformLimits
 from repro.faas.runtimes import RuntimeRegistry
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import FlowNetwork
 
 
 @dataclass
@@ -65,9 +69,13 @@ class FaaSController:
         start_rate_limit: Optional[float] = None,
         reuse_containers: bool = False,
         reuse_idle_timeout_s: float = 60.0,
+        network: Optional["FlowNetwork"] = None,
     ) -> None:
         """
         Args:
+            network: Flow-level fabric; when set, cold-start image pulls
+                compete for registry/fabric bandwidth instead of being
+                folded into the fixed launch time.
             start_rate_limit: Max container starts per second across the
                 platform (models the controller/scheduler bottleneck of
                 OpenWhisk-class deployments, where the shared controller —
@@ -90,7 +98,7 @@ class FaaSController:
         self.limits = limits or PlatformLimits()
         self.invokers: dict[str, Invoker] = {
             node.node_id: Invoker(
-                sim, node, contention_gamma=contention_gamma
+                sim, node, contention_gamma=contention_gamma, network=network
             )
             for node in cluster.nodes
         }
@@ -244,7 +252,6 @@ class FaaSController:
         container.state = ContainerState.WARM
         container.current_function = None
         self._reuse_pool[container.kind].append(container)
-        parked_at = self.sim.now
 
         def _reclaim() -> None:
             # Still idle in the pool after the timeout? Tear it down.

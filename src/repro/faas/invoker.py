@@ -10,12 +10,14 @@ and what makes node-failure retry storms expensive (§V-D-6).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cluster.node import Node
-from repro.common.types import ContainerState
 from repro.faas.container import Container
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import FlowNetwork
 
 
 class Invoker:
@@ -26,6 +28,9 @@ class Invoker:
         node: The node this invoker manages.
         contention_gamma: Per extra concurrent cold start, phases stretch by
             this fraction (launch time × (1 + γ·(k−1)) for k in-flight).
+        network: Flow-level fabric; when set (and it models image pulls),
+            the container image is pulled from the registry service over
+            the fabric before the launch/init phases run.
     """
 
     def __init__(
@@ -34,14 +39,19 @@ class Invoker:
         node: Node,
         *,
         contention_gamma: float = 0.12,
+        network: Optional["FlowNetwork"] = None,
     ) -> None:
         if contention_gamma < 0:
             raise ValueError("contention_gamma must be non-negative")
         self.sim = sim
         self.node = node
         self.contention_gamma = contention_gamma
+        self.network = network
         self.cold_starts_total = 0
-        self._pending_ready: dict[str, EventHandle] = {}
+        # Handle of the step that will (eventually) make the container
+        # ready: an image-pull FlowHandle or the launch+init EventHandle.
+        # Both expose ``cancel()``.
+        self._pending_ready: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def _contention_multiplier(self) -> float:
@@ -65,6 +75,37 @@ class Invoker:
             raise RuntimeError(f"node {self.node.node_id} is dead")
         self.node.cold_starts_in_flight += 1
         self.cold_starts_total += 1
+        container.mark_launching(self.sim.now)
+        network = self.network
+        if network is not None and network.models_image_pulls:
+            # Pull the image over the fabric first; the launch/init phases
+            # (and their contention multiplier) start once it lands.
+            def _pulled() -> None:
+                if container.terminal or not self.node.alive:
+                    self._cold_start_done(container)
+                    return
+                self._launch_phases(container, on_ready, warm=warm)
+
+            self._pending_ready[container.container_id] = network.image_pull(
+                dest_node=self.node.node_id,
+                size_bytes=container.runtime.image_size_bytes,
+                on_complete=_pulled,
+                label=f"pull:{container.container_id}",
+            )
+            return (
+                network.uncontended_pull_s(container.runtime.image_size_bytes)
+                + self.node.scale_duration(container.runtime.cold_start_s)
+            )
+        return self._launch_phases(container, on_ready, warm=warm)
+
+    def _launch_phases(
+        self,
+        container: Container,
+        on_ready: Callable[[Container], None],
+        *,
+        warm: bool,
+    ) -> float:
+        """Schedule the launch → init → ready sequence for *container*."""
         multiplier = self._contention_multiplier()
         launch = self.node.scale_duration(
             container.runtime.launch_time_s * multiplier
@@ -72,7 +113,6 @@ class Invoker:
         init = self.node.scale_duration(
             container.runtime.init_time_s * multiplier
         )
-        container.mark_launching(self.sim.now)
 
         def _to_init() -> None:
             if container.terminal or not self.node.alive:

@@ -15,11 +15,8 @@ every container on the node at once.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
-
-import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.sim.engine import Simulator

@@ -1,0 +1,120 @@
+"""Network metrics: per-link utilization and flow-level summaries.
+
+Companion to :mod:`repro.network` — turns a finished run's fabric into
+flat, regression-friendly numbers: a per-link usage table (timeline
+export) and the scalar aggregates folded into :class:`RunSummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.timeline import TimelineEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import FlowNetwork
+
+
+@dataclass(frozen=True)
+class LinkUsage:
+    """Usage of one unidirectional link over a run."""
+
+    name: str
+    bandwidth: float
+    bytes_total: float
+    flows_total: int
+    peak_concurrent_flows: int
+    busy_s: float
+    #: Fraction of the link's byte capacity used over the run horizon.
+    utilization: float
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Scalar aggregates of a run's fabric traffic."""
+
+    flows_started: int
+    flows_completed: int
+    flows_cancelled: int
+    bytes_total: float
+    contention_delay_s: float
+    peak_link_utilization: float
+    busiest_link: str
+
+
+def collect_link_usage(
+    network: "FlowNetwork", horizon_s: float
+) -> tuple[LinkUsage, ...]:
+    """Per-link usage table, in fabric declaration order."""
+    usages = []
+    for link in network.links.values():
+        capacity = link.bandwidth * horizon_s
+        usages.append(
+            LinkUsage(
+                name=link.name,
+                bandwidth=link.bandwidth,
+                bytes_total=link.bytes_total,
+                flows_total=link.flows_total,
+                peak_concurrent_flows=link.peak_concurrent,
+                busy_s=link.busy_s,
+                utilization=(
+                    link.bytes_total / capacity if capacity > 0 else 0.0
+                ),
+            )
+        )
+    return tuple(usages)
+
+
+def collect_network_stats(
+    network: Optional["FlowNetwork"], horizon_s: float
+) -> Optional[NetworkStats]:
+    """Aggregate a fabric into the scalars carried by ``RunSummary``."""
+    if network is None:
+        return None
+    peak = 0.0
+    busiest = ""
+    for usage in collect_link_usage(network, horizon_s):
+        if usage.utilization > peak:
+            peak = usage.utilization
+            busiest = usage.name
+    return NetworkStats(
+        flows_started=network.flows_started,
+        flows_completed=network.flows_completed,
+        flows_cancelled=network.flows_cancelled,
+        bytes_total=network.bytes_completed,
+        contention_delay_s=network.contention_delay_s,
+        peak_link_utilization=peak,
+        busiest_link=busiest,
+    )
+
+
+def network_timeline(
+    network: "FlowNetwork", horizon_s: float
+) -> list[TimelineEvent]:
+    """Per-link usage as timeline events (sorted by utilization, desc).
+
+    Reuses :class:`TimelineEvent` so the existing rendering helpers work;
+    the ``function_id`` slot carries the link name.
+    """
+    events = []
+    for usage in sorted(
+        collect_link_usage(network, horizon_s),
+        key=lambda u: (-u.utilization, u.name),
+    ):
+        if usage.flows_total == 0:
+            continue
+        events.append(
+            TimelineEvent(
+                time=usage.busy_s,
+                function_id=usage.name,
+                event="link-usage",
+                detail=(
+                    f"util={usage.utilization:.1%} "
+                    f"bytes={usage.bytes_total:.3g} "
+                    f"flows={usage.flows_total} "
+                    f"peak={usage.peak_concurrent_flows}"
+                ),
+            )
+        )
+    return events

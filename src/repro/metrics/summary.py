@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.cost.pricing import CostBreakdown
 from repro.metrics.collector import MetricsCollector
+from repro.metrics.network import NetworkStats
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,12 @@ class RunSummary:
     checkpoint_time_s: float
     replicas_launched: int
     seed: int
+    # Fabric traffic (zeros when the network model is disabled, so legacy
+    # summaries stay byte-identical).
+    network_flows: int = 0
+    network_bytes: float = 0.0
+    network_contention_s: float = 0.0
+    network_peak_utilization: float = 0.0
 
     @property
     def all_completed(self) -> bool:
@@ -51,6 +58,7 @@ def summarize(
     checkpoints_taken: int,
     replicas_launched: int,
     seed: int,
+    network: Optional[NetworkStats] = None,
 ) -> RunSummary:
     """Build a :class:`RunSummary` from a finished run's collectors."""
     checkpoint_time = sum(t.checkpoint_time_s for t in metrics.traces.values())
@@ -74,4 +82,12 @@ def summarize(
         checkpoint_time_s=checkpoint_time,
         replicas_launched=replicas_launched,
         seed=seed,
+        network_flows=network.flows_completed if network is not None else 0,
+        network_bytes=network.bytes_total if network is not None else 0.0,
+        network_contention_s=(
+            network.contention_delay_s if network is not None else 0.0
+        ),
+        network_peak_utilization=(
+            network.peak_link_utilization if network is not None else 0.0
+        ),
     )

@@ -1,0 +1,30 @@
+"""Contention-aware flow-level network model (fabric substrate).
+
+Every remote byte the platform moves — checkpoint writes, async flushes,
+restore fetches, and cold-start image pulls — can be routed through a
+:class:`~repro.network.fabric.FlowNetwork`: a deterministic flow-level
+model on the virtual clock where concurrent transfers sharing a link get
+max-min fair-share bandwidth.  Disabled by default; the legacy uncontended
+``latency + size/bandwidth`` charge stays byte-identical.
+"""
+
+from repro.network.config import (
+    NETWORK_PRESETS,
+    NetworkModelConfig,
+    TEN_GBE,
+    TWENTY_FIVE_GBE,
+    get_network_preset,
+)
+from repro.network.fabric import FlowHandle, FlowNetwork
+from repro.network.link import Link
+
+__all__ = [
+    "NETWORK_PRESETS",
+    "NetworkModelConfig",
+    "TEN_GBE",
+    "TWENTY_FIVE_GBE",
+    "get_network_preset",
+    "FlowHandle",
+    "FlowNetwork",
+    "Link",
+]

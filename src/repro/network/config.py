@@ -1,0 +1,100 @@
+"""Network model configuration and calibrated link presets.
+
+The testbed interconnect of the paper is 10 GbE (§V-A: Chameleon nodes,
+NFS shared storage over 10 GbE), so the default preset models exactly
+that: 10 Gb/s NICs, a 2:1-oversubscribed ToR uplink (4 nodes/rack share a
+2 × NIC uplink), and a non-blocking core.  Bandwidths are bytes per
+second per direction; each traversed hop adds a fixed per-hop latency.
+
+``None`` (the absence of a config) selects the legacy uncontended model
+everywhere, so all pre-existing figures reproduce unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: 10 Gb/s expressed in bytes per second.
+_10GBE = 10e9 / 8.0
+
+
+@dataclass(frozen=True)
+class NetworkModelConfig:
+    """Link capacities of the simulated fabric.
+
+    Attributes:
+        name: Preset identifier (shown in CLI listings).
+        nic_bandwidth: Per-node NIC capacity, bytes/s per direction.
+        uplink_bandwidth: Per-rack ToR uplink capacity, bytes/s per
+            direction (shared by every node of the rack for cross-rack
+            and storage-service traffic).
+        core_bandwidth: Aggregation/core capacity, bytes/s per direction.
+        hop_latency_s: Fixed latency added per traversed link.
+        registry_bandwidth: Egress capacity of the container image
+            registry service (cold-start image pulls).
+        model_image_pulls: Route cold-start image pulls through the
+            fabric (the dominant cold-start network cost at scale).
+        reschedule_tolerance: Relative completion-time improvement below
+            which an in-flight flow keeps its already-scheduled finish
+            event.  Bounds event churn under heavy sharing to
+            ``O(log)`` reschedules per flow; 0 gives exact max-min
+            finish times.  Deterministic either way.
+        enabled: Escape hatch — a config with ``enabled=False`` behaves
+            exactly like passing no config at all.
+    """
+
+    name: str = "custom"
+    nic_bandwidth: float = _10GBE
+    uplink_bandwidth: float = 2.0 * _10GBE
+    core_bandwidth: float = 8.0 * _10GBE
+    hop_latency_s: float = 50e-6
+    registry_bandwidth: float = 2.0 * _10GBE
+    model_image_pulls: bool = True
+    reschedule_tolerance: float = 0.01
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "nic_bandwidth",
+            "uplink_bandwidth",
+            "core_bandwidth",
+            "registry_bandwidth",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.hop_latency_s < 0:
+            raise ValueError("hop_latency_s must be non-negative")
+        if self.reschedule_tolerance < 0:
+            raise ValueError("reschedule_tolerance must be non-negative")
+
+
+#: The calibrated testbed preset: 10 GbE NICs, 2:1 oversubscribed racks.
+TEN_GBE = NetworkModelConfig(name="10gbe")
+
+#: A faster fabric for what-if runs (25 GbE NICs, same oversubscription).
+TWENTY_FIVE_GBE = NetworkModelConfig(
+    name="25gbe",
+    nic_bandwidth=2.5 * _10GBE,
+    uplink_bandwidth=5.0 * _10GBE,
+    core_bandwidth=20.0 * _10GBE,
+    registry_bandwidth=5.0 * _10GBE,
+)
+
+#: CLI-facing presets; ``"off"`` is the legacy uncontended model.
+NETWORK_PRESETS: dict[str, Optional[NetworkModelConfig]] = {
+    "off": None,
+    "10gbe": TEN_GBE,
+    "25gbe": TWENTY_FIVE_GBE,
+}
+
+
+def get_network_preset(name: str) -> Optional[NetworkModelConfig]:
+    """Resolve a preset name; raises ``KeyError`` with the known names."""
+    try:
+        return NETWORK_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network preset {name!r}; "
+            f"known: {sorted(NETWORK_PRESETS)}"
+        ) from None

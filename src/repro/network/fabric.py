@@ -1,0 +1,614 @@
+"""The flow-level fabric: paths, max-min fair share, completion events.
+
+Each transfer is a *flow* over a path of unidirectional links derived
+from :class:`~repro.cluster.topology.Topology` rack distance:
+
+* same node — bypasses the fabric entirely (pure latency/local time);
+* same rack — source NIC-tx → destination NIC-rx;
+* cross rack — NIC-tx → rack uplink-tx → core → rack uplink-rx → NIC-rx.
+
+Shared storage tiers (the replicated KV store, NFS, S3) and the container
+image registry are modeled as service endpoints in a dedicated storage
+rack: their per-direction service links are sized from the tier's
+read/write bandwidth, so an *uncontended* transfer costs what the legacy
+``latency + size/bandwidth`` model charged (the slowest hop is the tier
+itself), while concurrent transfers now compete for every shared hop.
+
+Bandwidth allocation is classic max-min (water-filling): repeatedly find
+the most constrained link, give each of its flows an equal share, remove
+them, and continue.  Rates are recomputed on every flow start/finish and
+the per-flow completion events are rescheduled on the sim engine.  All
+iteration is insertion-ordered, so a seed pins the whole trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.network.config import NetworkModelConfig
+from repro.network.link import Link
+from repro.sim.engine import EventHandle, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.storage.router import StoredObjectRef
+    from repro.storage.tiers import TierRegistry
+
+#: A flow is complete once its residual drops below this many bytes.
+_EPS_BYTES = 1e-6
+
+
+class _Flow:
+    """Internal state of one in-flight transfer."""
+
+    __slots__ = (
+        "flow_id",
+        "label",
+        "links",
+        "size_bytes",
+        "remaining",
+        "rate",
+        "on_complete",
+        "handle",
+        "latency_handle",
+        "endpoints",
+        "started_at",
+        "min_duration_s",
+        "finished",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        label: str,
+        links: tuple[Link, ...],
+        size_bytes: float,
+        on_complete: Callable[[], None],
+        endpoints: tuple[str, ...],
+        started_at: float,
+        min_duration_s: float,
+    ) -> None:
+        self.flow_id = flow_id
+        self.label = label
+        self.links = links
+        self.size_bytes = size_bytes
+        self.remaining = size_bytes
+        self.rate = 0.0
+        self.on_complete: Optional[Callable[[], None]] = on_complete
+        self.handle: Optional[EventHandle] = None
+        self.latency_handle: Optional[EventHandle] = None
+        self.endpoints = endpoints
+        self.started_at = started_at
+        self.min_duration_s = min_duration_s
+        self.finished = False
+
+
+class FlowHandle:
+    """Cancellable handle for a transfer.
+
+    Duck-types the ``cancel()`` / ``active`` surface of
+    :class:`~repro.sim.engine.EventHandle`, so callers can store it
+    wherever they would keep a timer handle (e.g. an attempt's
+    ``state_handle``).
+    """
+
+    __slots__ = ("_network", "_flow")
+
+    def __init__(self, network: "FlowNetwork", flow: _Flow) -> None:
+        self._network = network
+        self._flow = flow
+
+    @property
+    def active(self) -> bool:
+        return not self._flow.finished
+
+    @property
+    def label(self) -> str:
+        return self._flow.label
+
+    def cancel(self) -> None:
+        self._network._cancel(self._flow)
+
+
+class FlowNetwork:
+    """The fabric: endpoints, links, and the max-min flow scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        cluster: "Cluster",
+        tiers: "TierRegistry",
+        config: NetworkModelConfig,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.tiers = tiers
+        self._node_rack: dict[str, str] = {
+            node.node_id: node.rack for node in cluster.nodes
+        }
+        self._links: dict[str, Link] = {}
+        for node in cluster.nodes:
+            self._add_link(f"nic-tx:{node.node_id}", config.nic_bandwidth)
+            self._add_link(f"nic-rx:{node.node_id}", config.nic_bandwidth)
+        racks: list[str] = []
+        for node in cluster.nodes:
+            if node.rack not in racks:
+                racks.append(node.rack)
+        for rack in racks:
+            self._add_link(f"up-tx:{rack}", config.uplink_bandwidth)
+            self._add_link(f"up-rx:{rack}", config.uplink_bandwidth)
+        self._add_link("core", config.core_bandwidth)
+        # Shared tiers live in a dedicated storage rack reached through
+        # the core; the per-direction service links carry the tier's own
+        # streaming bandwidth so the uncontended cost matches the legacy
+        # model.
+        self._service_rx: dict[str, Link] = {}
+        self._service_tx: dict[str, Link] = {}
+        for tier in tiers.tiers:
+            if not tier.shared:
+                continue
+            self._service_rx[tier.name] = self._add_link(
+                f"svc-rx:{tier.name}", tier.write_bandwidth
+            )
+            self._service_tx[tier.name] = self._add_link(
+                f"svc-tx:{tier.name}", tier.read_bandwidth
+            )
+        self._registry_link = self._add_link(
+            "svc-tx:registry", config.registry_bandwidth
+        )
+        self._active: dict[int, _Flow] = {}
+        self._flow_counter = 0
+        self._last_settle = 0.0
+        # aggregate statistics
+        self.flows_started = 0
+        self.flows_completed = 0
+        self.flows_cancelled = 0
+        self.bytes_completed = 0.0
+        self.contention_delay_s = 0.0
+
+    def _add_link(self, name: str, bandwidth: float) -> Link:
+        link = Link(name, bandwidth)
+        self._links[name] = link
+        return link
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def links(self) -> dict[str, Link]:
+        return self._links
+
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def models_image_pulls(self) -> bool:
+        return self.config.model_image_pulls
+
+    def serves_tier(self, tier_name: str) -> bool:
+        return tier_name in self._service_rx
+
+    # ------------------------------------------------------------------
+    # Path construction
+    # ------------------------------------------------------------------
+    def _node_path(self, src: str, dst: str) -> tuple[Link, ...]:
+        """Fabric path between two nodes (empty when same node)."""
+        if src == dst:
+            return ()
+        rack_src = self._node_rack[src]
+        rack_dst = self._node_rack[dst]
+        if rack_src == rack_dst:
+            return (
+                self._links[f"nic-tx:{src}"],
+                self._links[f"nic-rx:{dst}"],
+            )
+        return (
+            self._links[f"nic-tx:{src}"],
+            self._links[f"up-tx:{rack_src}"],
+            self._links["core"],
+            self._links[f"up-rx:{rack_dst}"],
+            self._links[f"nic-rx:{dst}"],
+        )
+
+    def _to_service(self, node_id: str, service: Link) -> tuple[Link, ...]:
+        rack = self._node_rack[node_id]
+        return (
+            self._links[f"nic-tx:{node_id}"],
+            self._links[f"up-tx:{rack}"],
+            self._links["core"],
+            service,
+        )
+
+    def _from_service(self, service: Link, node_id: str) -> tuple[Link, ...]:
+        rack = self._node_rack[node_id]
+        return (
+            service,
+            self._links["core"],
+            self._links[f"up-rx:{rack}"],
+            self._links[f"nic-rx:{node_id}"],
+        )
+
+    # ------------------------------------------------------------------
+    # Public transfer API
+    # ------------------------------------------------------------------
+    def write_checkpoint(
+        self,
+        *,
+        tier_name: str,
+        node_id: Optional[str],
+        size_bytes: float,
+        on_complete: Callable[[], None],
+        extra_latency_s: float = 0.0,
+        label: str = "",
+    ) -> FlowHandle:
+        """Checkpoint write from *node_id* onto *tier_name*.
+
+        Shared tiers are a flow to the tier's service endpoint; local
+        tiers (and node-less writes) cost the legacy local write time.
+        """
+        tier = self.tiers.get(tier_name)
+        if node_id is not None and self.serves_tier(tier_name):
+            return self._start_flow(
+                links=self._to_service(node_id, self._service_rx[tier_name]),
+                size_bytes=size_bytes,
+                on_complete=on_complete,
+                latency_s=extra_latency_s + tier.write_latency_s,
+                label=label,
+                endpoints=(node_id, f"svc:{tier_name}"),
+            )
+        return self._start_flow(
+            links=(),
+            size_bytes=size_bytes,
+            on_complete=on_complete,
+            latency_s=extra_latency_s + tier.write_time(size_bytes),
+            label=label,
+            endpoints=(node_id,) if node_id is not None else (),
+        )
+
+    def fetch_checkpoint(
+        self,
+        ref: "StoredObjectRef",
+        *,
+        dest_node: str,
+        on_complete: Callable[[], None],
+        extra_latency_s: float = 0.0,
+        label: str = "",
+    ) -> FlowHandle:
+        """Restore fetch of *ref*'s payload onto *dest_node* (``t_res``)."""
+        tier = self.tiers.get(ref.tier_name)
+        if self.serves_tier(ref.tier_name):
+            return self._start_flow(
+                links=self._from_service(
+                    self._service_tx[ref.tier_name], dest_node
+                ),
+                size_bytes=ref.size_bytes,
+                on_complete=on_complete,
+                latency_s=extra_latency_s + tier.read_latency_s,
+                label=label,
+                endpoints=(f"svc:{ref.tier_name}", dest_node),
+            )
+        if ref.node_id is not None and ref.node_id != dest_node:
+            # Non-shared tier on a remote node: peer-to-peer copy.
+            return self._start_flow(
+                links=self._node_path(ref.node_id, dest_node),
+                size_bytes=ref.size_bytes,
+                on_complete=on_complete,
+                latency_s=extra_latency_s + tier.read_latency_s,
+                label=label,
+                endpoints=(ref.node_id, dest_node),
+            )
+        # Same node (or unplaced payload): legacy local read time.
+        return self._start_flow(
+            links=(),
+            size_bytes=ref.size_bytes,
+            on_complete=on_complete,
+            latency_s=extra_latency_s + tier.read_time(ref.size_bytes),
+            label=label,
+            endpoints=(dest_node,),
+        )
+
+    def flush_copy(
+        self,
+        *,
+        node_id: str,
+        size_bytes: float,
+        on_complete: Callable[[], None],
+        label: str = "",
+    ) -> FlowHandle:
+        """Background asynchronous flush of a local write to shared storage."""
+        target = self._service_rx.get("kv")
+        if target is None:
+            # No shared KV tier configured: first shared tier, else local.
+            target = next(iter(self._service_rx.values()), None)
+        if target is None:
+            return self._start_flow(
+                links=(),
+                size_bytes=size_bytes,
+                on_complete=on_complete,
+                latency_s=0.0,
+                label=label,
+                endpoints=(node_id,),
+            )
+        return self._start_flow(
+            links=self._to_service(node_id, target),
+            size_bytes=size_bytes,
+            on_complete=on_complete,
+            latency_s=0.0,
+            label=label,
+            endpoints=(node_id, "svc:flush"),
+        )
+
+    def image_pull(
+        self,
+        *,
+        dest_node: str,
+        size_bytes: float,
+        on_complete: Callable[[], None],
+        label: str = "",
+    ) -> FlowHandle:
+        """Cold-start container image pull from the registry service."""
+        return self._start_flow(
+            links=self._from_service(self._registry_link, dest_node),
+            size_bytes=size_bytes,
+            on_complete=on_complete,
+            latency_s=0.0,
+            label=label,
+            endpoints=("svc:registry", dest_node),
+        )
+
+    def transfer(
+        self,
+        src_node: str,
+        dst_node: str,
+        size_bytes: float,
+        *,
+        on_complete: Callable[[], None],
+        extra_latency_s: float = 0.0,
+        label: str = "",
+    ) -> FlowHandle:
+        """Generic node-to-node transfer (replication state copies)."""
+        return self._start_flow(
+            links=self._node_path(src_node, dst_node),
+            size_bytes=size_bytes,
+            on_complete=on_complete,
+            latency_s=extra_latency_s,
+            label=label,
+            endpoints=(src_node, dst_node),
+        )
+
+    def uncontended_pull_s(self, size_bytes: float) -> float:
+        """Projected image-pull seconds on an idle fabric (estimates only)."""
+        path = (self._registry_link, self._links["core"])
+        bottleneck = min(
+            min(link.bandwidth for link in path), self.config.nic_bandwidth
+        )
+        return (
+            self.config.hop_latency_s * 4 + size_bytes / bottleneck
+        )
+
+    # ------------------------------------------------------------------
+    # Flow lifecycle
+    # ------------------------------------------------------------------
+    def _start_flow(
+        self,
+        *,
+        links: tuple[Link, ...],
+        size_bytes: float,
+        on_complete: Callable[[], None],
+        latency_s: float,
+        label: str,
+        endpoints: tuple[str, ...],
+    ) -> FlowHandle:
+        latency = latency_s + self.config.hop_latency_s * len(links)
+        if links and size_bytes > 0:
+            bottleneck = min(link.bandwidth for link in links)
+            min_duration = latency + size_bytes / bottleneck
+        else:
+            min_duration = latency
+        self._flow_counter += 1
+        flow = _Flow(
+            flow_id=self._flow_counter,
+            label=label,
+            links=links,
+            size_bytes=size_bytes,
+            on_complete=on_complete,
+            endpoints=endpoints,
+            started_at=self.sim.now,
+            min_duration_s=min_duration,
+        )
+        self.flows_started += 1
+        if not links or size_bytes <= 0:
+            # Fabric bypass: same-node / local-tier, pure duration charge.
+            flow.latency_handle = self.sim.call_in(
+                latency, lambda: self._finish(flow), label=f"xfer:{label}"
+            )
+        elif latency > 0:
+            # The fixed path/tier latency is charged before the flow
+            # occupies bandwidth (it models handshakes, not streaming).
+            flow.latency_handle = self.sim.call_in(
+                latency, lambda: self._activate(flow), label=f"xfer:{label}"
+            )
+        else:
+            self._activate(flow)
+        return FlowHandle(self, flow)
+
+    def _activate(self, flow: _Flow) -> None:
+        if flow.finished:
+            return
+        flow.latency_handle = None
+        self._settle()
+        self._active[flow.flow_id] = flow
+        for link in flow.links:
+            link.attach()
+        self._reschedule()
+
+    def _finish(self, flow: _Flow) -> None:
+        """Completion of a fabric-bypass (latency-only) flow."""
+        if flow.finished:
+            return
+        flow.finished = True
+        flow.latency_handle = None
+        self.flows_completed += 1
+        self.bytes_completed += flow.size_bytes
+        callback = flow.on_complete
+        flow.on_complete = None
+        if callback is not None:
+            callback()
+
+    def _complete_event(self, flow: _Flow) -> None:
+        """Scheduled finish event of an active (bandwidth-phase) flow."""
+        if flow.finished or flow.flow_id not in self._active:
+            return
+        self._settle()
+        if flow.remaining > max(_EPS_BYTES, 1e-9 * flow.size_bytes):
+            # Fired early: the flow's share shrank since this event was
+            # scheduled (new sharers joined).  Re-arm from live state.
+            if flow.rate > 0:
+                flow.handle = self.sim.call_at(
+                    max(self.sim.now, self.sim.now + flow.remaining / flow.rate),
+                    lambda: self._complete_event(flow),
+                    label=f"flow-end:{flow.label}",
+                )
+            return
+        residual = flow.remaining
+        if residual > 0:
+            # Credit the unaccounted residue so link byte counters close.
+            for link in flow.links:
+                link.bytes_total += residual
+        flow.remaining = 0.0
+        flow.finished = True
+        del self._active[flow.flow_id]
+        for link in flow.links:
+            link.detach()
+        self.flows_completed += 1
+        self.bytes_completed += flow.size_bytes
+        self.contention_delay_s += max(
+            0.0, (self.sim.now - flow.started_at) - flow.min_duration_s
+        )
+        self._reschedule()
+        callback = flow.on_complete
+        flow.on_complete = None
+        if callback is not None:
+            callback()
+
+    def _cancel(self, flow: _Flow) -> None:
+        if flow.finished:
+            return
+        flow.finished = True
+        flow.on_complete = None
+        if flow.latency_handle is not None:
+            flow.latency_handle.cancel()
+            flow.latency_handle = None
+        if flow.handle is not None:
+            flow.handle.cancel()
+            flow.handle = None
+        if flow.flow_id in self._active:
+            self._settle()
+            del self._active[flow.flow_id]
+            for link in flow.links:
+                link.detach()
+            self._reschedule()
+        self.flows_cancelled += 1
+
+    def fail_endpoint(self, node_id: str) -> int:
+        """Cancel every flow touching *node_id* (node failure); count them."""
+        victims = [
+            flow
+            for flow in list(self._active.values())
+            if node_id in flow.endpoints
+        ]
+        for flow in victims:
+            self._cancel(flow)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Max-min fair share
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        """Advance every active flow's residual to the current time."""
+        now = self.sim.now
+        elapsed = now - self._last_settle
+        self._last_settle = now
+        if elapsed <= 0 or not self._active:
+            return
+        for flow in self._active.values():
+            if flow.rate <= 0:
+                continue
+            moved = flow.rate * elapsed
+            if moved > flow.remaining:
+                moved = flow.remaining
+            flow.remaining -= moved
+            for link in flow.links:
+                link.bytes_total += moved
+        for link in self._links.values():
+            if link.active_flows > 0:
+                link.busy_s += elapsed
+
+    def _fair_share(self) -> dict[int, float]:
+        """Water-filling: flow_id -> max-min fair rate (bytes/s)."""
+        members: dict[Link, list[_Flow]] = {}
+        for flow in self._active.values():
+            for link in flow.links:
+                members.setdefault(link, []).append(flow)
+        remaining_cap = {link: link.bandwidth for link in members}
+        counts = {link: len(flows) for link, flows in members.items()}
+        unassigned = dict.fromkeys(self._active)
+        rates: dict[int, float] = {}
+        while unassigned:
+            bottleneck: Optional[Link] = None
+            share = math.inf
+            for link, cap in remaining_cap.items():
+                if counts[link] <= 0:
+                    continue
+                candidate = max(cap, 0.0) / counts[link]
+                if candidate < share:
+                    share = candidate
+                    bottleneck = link
+            if bottleneck is None:  # pragma: no cover - defensive
+                for flow_id in unassigned:
+                    rates[flow_id] = math.inf
+                break
+            for flow in members[bottleneck]:
+                if flow.flow_id not in unassigned:
+                    continue
+                rates[flow.flow_id] = share
+                del unassigned[flow.flow_id]
+                for link in flow.links:
+                    remaining_cap[link] -= share
+                    counts[link] -= 1
+            remaining_cap[bottleneck] = 0.0
+        return rates
+
+    def _reschedule(self) -> None:
+        """Re-apply fair-share rates; move finish events that improved.
+
+        A flow whose completion moved *later* keeps its event — it will
+        fire early, observe a positive residual, and re-arm.  A flow whose
+        completion improved by more than the configured tolerance gets its
+        event replaced now.  Both paths are deterministic.
+        """
+        if not self._active:
+            return
+        rates = self._fair_share()
+        now = self.sim.now
+        tolerance = self.config.reschedule_tolerance
+        for flow in self._active.values():
+            rate = rates[flow.flow_id]
+            flow.rate = rate
+            if rate <= 0:  # pragma: no cover - defensive
+                continue
+            eta = now + flow.remaining / rate
+            handle = flow.handle
+            if handle is not None and handle.active:
+                slack = tolerance * (handle.time - now)
+                if eta >= handle.time - max(slack, 1e-12):
+                    continue
+                handle.cancel()
+            flow.handle = self.sim.call_at(
+                max(now, eta),
+                lambda f=flow: self._complete_event(f),
+                label=f"flow-end:{flow.label}",
+            )

@@ -1,0 +1,50 @@
+"""A unidirectional network link with live-flow and usage accounting."""
+
+from __future__ import annotations
+
+
+class Link:
+    """One direction of one physical link (NIC, uplink, core, service).
+
+    Capacity is shared max-min fairly between the flows traversing the
+    link; the fabric owns the allocation — the link only tracks who is on
+    it and what has moved through it.
+    """
+
+    __slots__ = (
+        "name",
+        "bandwidth",
+        "active_flows",
+        "bytes_total",
+        "flows_total",
+        "peak_concurrent",
+        "busy_s",
+    )
+
+    def __init__(self, name: str, bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"link {name!r} bandwidth must be positive")
+        self.name = name
+        self.bandwidth = bandwidth
+        self.active_flows = 0
+        # usage statistics
+        self.bytes_total = 0.0
+        self.flows_total = 0
+        self.peak_concurrent = 0
+        self.busy_s = 0.0
+
+    def attach(self) -> None:
+        self.active_flows += 1
+        self.flows_total += 1
+        if self.active_flows > self.peak_concurrent:
+            self.peak_concurrent = self.active_flows
+
+    def detach(self) -> None:
+        if self.active_flows > 0:
+            self.active_flows -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name}, {self.bandwidth:.3g}B/s, "
+            f"active={self.active_flows})"
+        )

@@ -17,8 +17,8 @@ never materializes 98 MB of ResNet weights).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from dataclasses import dataclass
+from typing import Any, Optional
 
 from repro.common.errors import StorageCapacityError
 from repro.common.units import MiB

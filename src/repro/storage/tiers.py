@@ -39,6 +39,27 @@ class StorageTier:
     survives_node_failure: bool
     capacity_bytes: float = float("inf")
 
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier name must be non-empty")
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError(
+                f"tier {self.name!r}: bandwidths must be positive "
+                f"(got read={self.read_bandwidth}, "
+                f"write={self.write_bandwidth})"
+            )
+        if self.read_latency_s < 0 or self.write_latency_s < 0:
+            raise ValueError(
+                f"tier {self.name!r}: latencies must be non-negative "
+                f"(got read={self.read_latency_s}, "
+                f"write={self.write_latency_s})"
+            )
+        if self.capacity_bytes < 0:
+            raise ValueError(
+                f"tier {self.name!r}: capacity_bytes must be non-negative "
+                f"(got {self.capacity_bytes})"
+            )
+
     def read_time(self, size_bytes: float) -> float:
         """Seconds to read *size_bytes* from this tier."""
         return self.read_latency_s + size_bytes / self.read_bandwidth

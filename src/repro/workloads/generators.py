@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.jobs import JobRequest
-from repro.workloads.profiles import WorkloadProfile, get_workload
+from repro.workloads.profiles import get_workload
 
 
 @dataclass(frozen=True)

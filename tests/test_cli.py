@@ -26,6 +26,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--strategy", "bogus"])
 
+    def test_network_defaults_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.network == "off"
+
+    def test_network_preset_accepted(self):
+        args = build_parser().parse_args(["run", "--network", "10gbe"])
+        assert args.network == "10gbe"
+
+    def test_unknown_network_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--network", "infiniband"])
+
+    def test_topology_defaults(self):
+        args = build_parser().parse_args(["topology"])
+        assert args.nodes == 16
+        assert args.racks == 4
+
 
 class TestCommands:
     def test_workloads_lists_all(self, capsys):
@@ -93,6 +110,66 @@ class TestCommands:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["completed"] == 20
+
+    def test_tiers_lists_hierarchy(self, capsys):
+        assert main(["tiers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("kv", "pmem", "ramdisk", "nfs", "s3"):
+            assert name in out
+        assert "GiB" in out
+
+    def test_topology_lists_racks_and_presets(self, capsys):
+        assert main(["topology", "--nodes", "8", "--racks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rack-0: node-00 node-02 node-04 node-06" in out
+        assert "rack-1: node-01 node-03 node-05 node-07" in out
+        assert "10gbe" in out
+        assert "off" in out
+
+    def test_run_with_network_reports_traffic(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload", "graph-bfs",
+                "--functions", "10",
+                "--nodes", "4",
+                "--error-rate", "0.1",
+                "--network", "10gbe",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "network" in out
+        assert "flows" in out
+        assert "peak link util" in out
+
+    def test_run_without_network_omits_traffic_line(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload", "graph-bfs",
+                "--functions", "5",
+                "--nodes", "2",
+            ]
+        )
+        assert code == 0
+        assert "peak link util" not in capsys.readouterr().out
+
+    def test_run_json_includes_network_fields(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload", "graph-bfs",
+                "--functions", "10",
+                "--nodes", "4",
+                "--network", "10gbe",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network_flows"] > 0
+        assert payload["network_bytes"] > 0
 
     def test_figure_fast(self, capsys):
         # fig7 with the fast flag regenerates quickly.

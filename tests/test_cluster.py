@@ -167,6 +167,35 @@ class TestTopology:
         with pytest.raises(ValueError):
             Topology(num_racks=0)
 
+    def test_more_racks_than_nodes_leaves_racks_empty(self):
+        # A 2-node cluster on an 8-rack topology occupies only the first
+        # two racks; distances stay well-defined.
+        cluster = Cluster(2, topology=Topology(num_racks=8))
+        racks = {node.rack for node in cluster.nodes}
+        assert racks == {"rack-0", "rack-1"}
+        a, b = cluster.nodes
+        assert cluster.topology.distance(
+            a.rack, a.node_id, b.rack, b.node_id
+        ) == Topology.CROSS_RACK
+
+    def test_single_rack_distances(self):
+        topo = Topology(num_racks=1)
+        assert all(topo.rack_for(i) == "rack-0" for i in range(10))
+        assert topo.distance("rack-0", "n0", "rack-0", "n0") == \
+            Topology.SAME_NODE
+        assert topo.distance("rack-0", "n0", "rack-0", "n1") == \
+            Topology.SAME_RACK
+
+    def test_rack_for_is_stable_under_reenumeration(self):
+        # Rack assignment is a pure function of the node index, so
+        # enumerating nodes repeatedly (or out of order) never moves a
+        # node between racks.
+        topo = Topology(num_racks=4)
+        first = [topo.rack_for(i) for i in range(32)]
+        second = [topo.rack_for(i) for i in reversed(range(32))]
+        assert first == list(reversed(second))
+        assert first[:4] == ["rack-0", "rack-1", "rack-2", "rack-3"]
+
 
 class TestCluster:
     def test_size_and_iteration(self):

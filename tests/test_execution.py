@@ -8,8 +8,6 @@ recovery bookkeeping around injected failures.
 import pytest
 
 from repro.common.types import FunctionState
-from repro.core.canary import CanaryPlatform
-from repro.core.jobs import JobRequest
 
 from tests.conftest import TINY, TINY_BIG_CKPT, run_tiny_job
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.common.types import RuntimeKind
 from repro.common.units import KiB, mb
-from repro.core.canary import CanaryPlatform
 from repro.core.jobs import JobRequest
 from repro.workloads.profiles import WorkloadProfile
 

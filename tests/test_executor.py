@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.units import KiB
-from repro.executor.context import CheckpointContext, FunctionKilled
+from repro.executor.context import CheckpointContext
 from repro.executor.local import FaultPlan, LocalExecutor
 from repro.executor.store import RealCheckpointStore
 

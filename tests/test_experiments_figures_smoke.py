@@ -1,6 +1,5 @@
 """Tiny-scale smoke tests for every figure module's row/note generation."""
 
-import pytest
 
 from repro.experiments import (
     fig04_runtimes,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.cluster import Cluster
 from repro.common.types import ContainerState, RuntimeKind
-from repro.common.units import GiB, mb
+from repro.common.units import GiB
 from repro.faas.container import Container, ContainerPurpose
 from repro.faas.controller import ContainerRequest, FaaSController
 from repro.faas.invoker import Invoker

@@ -14,7 +14,6 @@ from repro.core.jobs import JobRequest
 from repro.cost.pricing import AWS_LAMBDA_PRICING
 from repro.workloads.profiles import get_workload
 
-from tests.conftest import TINY
 
 
 def run(strategy, error_rate=0.15, seed=42, **kwargs):

@@ -1,6 +1,5 @@
 """Tests for availability accounting and timeline export."""
 
-import pytest
 
 from repro.metrics.availability import availability, total_function_time
 from repro.metrics.timeline import (

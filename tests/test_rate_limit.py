@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.common.types import ContainerState, RuntimeKind
+from repro.common.types import RuntimeKind
 from repro.core.canary import CanaryPlatform
 from repro.core.jobs import JobRequest
 from repro.faas.container import ContainerPurpose

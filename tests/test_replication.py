@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.common.types import ContainerState, RuntimeKind
+from repro.common.types import RuntimeKind
 from repro.common.units import mb
 from repro.core.ids import IdGenerator
 from repro.core.jobs import Job, JobRequest

@@ -18,7 +18,8 @@ class TestEventQueue:
 
     def test_same_time_fires_in_scheduling_order(self):
         q = EventQueue()
-        events = [q.push(5.0, lambda: None, label=str(i)) for i in range(10)]
+        for i in range(10):
+            q.push(5.0, lambda: None, label=str(i))
         popped = [q.pop().label for _ in range(10)]
         assert popped == [str(i) for i in range(10)]
 
@@ -30,7 +31,7 @@ class TestEventQueue:
 
     def test_cancelled_events_are_skipped(self):
         q = EventQueue()
-        keep = q.push(1.0, lambda: None, label="keep")
+        q.push(1.0, lambda: None, label="keep")
         drop = q.push(0.5, lambda: None, label="drop")
         q.cancel(drop)
         assert len(q) == 1

@@ -20,6 +20,47 @@ class TestStorageTier:
         assert tier.read_time(0) == tier.read_latency_s
         assert tier.write_time(0) == tier.write_latency_s
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"read_bandwidth": 0.0},
+            {"read_bandwidth": -1.0},
+            {"write_bandwidth": 0.0},
+            {"write_bandwidth": -2.0 * GiB},
+            {"read_latency_s": -0.001},
+            {"write_latency_s": -0.001},
+            {"capacity_bytes": -1.0},
+        ],
+    )
+    def test_invalid_tiers_rejected(self, kwargs):
+        valid = dict(
+            name="t",
+            read_latency_s=0.001,
+            write_latency_s=0.001,
+            read_bandwidth=1.0 * GiB,
+            write_bandwidth=1.0 * GiB,
+            shared=True,
+            survives_node_failure=True,
+        )
+        valid.update(kwargs)
+        with pytest.raises(ValueError):
+            StorageTier(**valid)
+
+    def test_zero_capacity_tier_is_valid_but_full(self):
+        tier = StorageTier(
+            name="t",
+            read_latency_s=0.0,
+            write_latency_s=0.0,
+            read_bandwidth=1.0 * GiB,
+            write_bandwidth=1.0 * GiB,
+            shared=False,
+            survives_node_failure=False,
+            capacity_bytes=0.0,
+        )
+        registry = TierRegistry((DEFAULT_TIERS[0], tier))
+        assert registry.free_bytes("t") == 0.0
+
     def test_default_hierarchy_ordering(self):
         # KV first; shared tiers survive node failures.
         names = [t.name for t in DEFAULT_TIERS]

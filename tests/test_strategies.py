@@ -5,8 +5,6 @@ import warnings
 import pytest
 
 from repro.common.types import RecoveryStrategyName
-from repro.core.canary import CanaryPlatform
-from repro.core.context import PlatformContext
 from repro.core.jobs import JobRequest
 from repro.faas.container import ContainerPurpose
 from repro.strategies.factory import make_strategy

@@ -1,7 +1,6 @@
 """Function-timeout enforcement + combined-feature chaos tests."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
 from repro.core.canary import CanaryPlatform

@@ -82,7 +82,7 @@ class TestCompression:
 
     def test_per_file_checkpoint_cadence(self):
         executor = LocalExecutor(strategy="canary")
-        result = executor.run_function("f", make_compression(num_files=4))
+        executor.run_function("f", make_compression(num_files=4))
         # One checkpoint per file, dropped at completion.
         assert executor.store.saves == 4
 
