@@ -25,6 +25,7 @@ from repro.checkpoint.records import CheckpointRecord
 from repro.core.database import CanaryDatabase
 from repro.core.ids import IdGenerator
 from repro.storage.router import CheckpointStorageRouter
+from repro.trace.tracer import NULL_TRACER, NullTracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.fabric import FlowHandle, FlowNetwork
@@ -41,6 +42,7 @@ class CheckpointingModule:
         *,
         policy: CheckpointPolicy | None = None,
         flush_lag_s: float = 0.0,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         """
         Args:
@@ -57,6 +59,7 @@ class CheckpointingModule:
         self.ids = ids
         self.policy = policy or CheckpointPolicy()
         self.flush_lag_s = flush_lag_s
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._per_function: dict[str, collections.deque[CheckpointRecord]] = {}
         self._effective_interval: dict[str, int] = {}
         # checkpoint_id -> (home node, time it becomes durable)
@@ -133,10 +136,31 @@ class CheckpointingModule:
                 node_id,
                 now + self.flush_lag_s,
             )
+            self.tracer.instant(
+                "flush",
+                f"flush:{record.checkpoint_id}",
+                t=now,
+                duration=self.flush_lag_s,
+                node=node_id,
+                checkpoint=record.checkpoint_id,
+                bytes=size_bytes,
+            )
         self._maybe_adapt_interval(
             function_id, serialize_overhead_s + write_time, state_duration_s
         )
-        return record, serialize_overhead_s + write_time
+        charge = serialize_overhead_s + write_time
+        self.tracer.instant(
+            "checkpoint_write",
+            f"ckpt:{function_id}:{state_index}",
+            t=now,
+            duration=charge,
+            function=function_id,
+            state_index=state_index,
+            tier=record.ref.tier_name,
+            bytes=size_bytes,
+            **({"node": node_id} if node_id is not None else {}),
+        )
+        return record, charge
 
     def record_state_async(
         self,
@@ -175,6 +199,19 @@ class CheckpointingModule:
         def _written() -> None:
             elapsed = network.sim.now - now
             self._maybe_adapt_interval(function_id, elapsed, state_duration_s)
+            # Cancelled writes (attempt death) leave no checkpoint_write
+            # span; the fabric's cancelled network_flow span records them.
+            self.tracer.instant(
+                "checkpoint_write",
+                f"ckpt:{function_id}:{state_index}",
+                t=now,
+                duration=elapsed,
+                function=function_id,
+                state_index=state_index,
+                tier=record.ref.tier_name,
+                bytes=size_bytes,
+                **({"node": node_id} if node_id is not None else {}),
+            )
             on_done(record, elapsed)
 
         handle = network.write_checkpoint(
@@ -255,6 +292,15 @@ class CheckpointingModule:
         self._pending_flush[checkpoint_id] = (node_id, float("inf"))
 
         def _flushed() -> None:
+            self.tracer.instant(
+                "flush",
+                f"flush:{checkpoint_id}",
+                t=now,
+                duration=network.sim.now - now,
+                node=node_id,
+                checkpoint=checkpoint_id,
+                bytes=size_bytes,
+            )
             if checkpoint_id in self._pending_flush:
                 self._pending_flush[checkpoint_id] = (
                     node_id,

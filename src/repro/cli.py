@@ -11,6 +11,8 @@ Installed as ``canary-sim`` (also runnable via ``python -m repro``):
     canary-sim run --workload dl-training --strategy canary \
                --error-rate 0.15 --functions 100 --seed 0
     canary-sim run --workload graph-bfs --network 10gbe   # contended fabric
+    canary-sim trace --workload graph-bfs --error-rate 0.25 \
+               --out trace.json                # span trace for chrome://tracing
     canary-sim figure fig7 --fast              # regenerate a paper figure
 """
 
@@ -25,7 +27,7 @@ from typing import Optional, Sequence
 from repro.common.types import RecoveryStrategyName, ReplicationStrategyName
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_scenario
+from repro.experiments.runner import run_scenario, run_traced
 from repro.network.config import NETWORK_PRESETS
 from repro.workloads.profiles import WORKLOADS_BY_NAME
 
@@ -95,8 +97,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    scenario = ScenarioConfig(
+def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
         workload=args.workload,
         strategy=args.strategy,
         error_rate=args.error_rate,
@@ -108,6 +110,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         node_failure_count=args.node_failures,
         network=NETWORK_PRESETS[args.network],
     )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
     summary = run_scenario(scenario, seed=args.seed)
     if args.json:
         print(json.dumps(asdict(summary), indent=2))
@@ -133,6 +139,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"(functions ${summary.cost_function:.4f}, "
           f"replicas ${summary.cost_replica:.4f}, "
           f"standbys ${summary.cost_standby:.4f})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import (
+        aggregate_spans,
+        format_stats_table,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    scenario = _scenario_from_args(args)
+    traced = run_traced(scenario, seed=args.seed)
+    write_chrome_trace(traced.spans, args.out)
+    n_events = validate_chrome_trace(args.out)
+    if args.jsonl:
+        write_jsonl(traced.spans, args.jsonl)
+    summary = traced.summary
+    print(f"workload          : {summary.workload} "
+          f"({summary.strategy}, seed {args.seed})")
+    print(f"functions         : {summary.completed}/{summary.num_functions} "
+          f"completed, {summary.failures} failures")
+    print(f"makespan          : {summary.makespan_s:.2f}s")
+    print(f"spans             : {len(traced.spans)} "
+          f"({n_events} chrome events) -> {args.out}")
+    if args.jsonl:
+        print(f"jsonl             : {args.jsonl}")
+    print()
+    print(format_stats_table(aggregate_spans(traced.spans)))
+    print()
+    print("open the trace in chrome://tracing or https://ui.perfetto.dev")
     return 0
 
 
@@ -176,6 +214,26 @@ def _figure_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """Scenario flags shared by the ``run`` and ``trace`` subcommands."""
+    parser.add_argument("--workload", default="dl-training",
+                        choices=sorted(WORKLOADS_BY_NAME))
+    parser.add_argument("--strategy", default="canary",
+                        choices=[s.value for s in RecoveryStrategyName])
+    parser.add_argument("--replication", default="dynamic",
+                        choices=[s.value for s in ReplicationStrategyName])
+    parser.add_argument("--error-rate", type=float, default=0.15)
+    parser.add_argument("--functions", type=int, default=100)
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--checkpoint-interval", type=int, default=1)
+    parser.add_argument("--node-failures", type=int, default=0)
+    parser.add_argument("--network", default="off",
+                        choices=sorted(NETWORK_PRESETS),
+                        help="fabric model preset (off = legacy uncontended)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="canary-sim",
@@ -201,25 +259,22 @@ def build_parser() -> argparse.ArgumentParser:
     topology.set_defaults(func=_cmd_topology)
 
     run = sub.add_parser("run", help="simulate one scenario")
-    run.add_argument("--workload", default="dl-training",
-                     choices=sorted(WORKLOADS_BY_NAME))
-    run.add_argument("--strategy", default="canary",
-                     choices=[s.value for s in RecoveryStrategyName])
-    run.add_argument("--replication", default="dynamic",
-                     choices=[s.value for s in ReplicationStrategyName])
-    run.add_argument("--error-rate", type=float, default=0.15)
-    run.add_argument("--functions", type=int, default=100)
-    run.add_argument("--nodes", type=int, default=16)
-    run.add_argument("--jobs", type=int, default=1)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--checkpoint-interval", type=int, default=1)
-    run.add_argument("--node-failures", type=int, default=0)
-    run.add_argument("--network", default="off",
-                     choices=sorted(NETWORK_PRESETS),
-                     help="fabric model preset (off = legacy uncontended)")
+    _add_run_flags(run)
     run.add_argument("--json", action="store_true",
                      help="emit the summary as JSON")
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="simulate one scenario with span tracing and export the trace",
+    )
+    _add_run_flags(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace_event JSON output path "
+                       "(default: trace.json)")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also write flat one-span-per-line JSONL here")
+    trace.set_defaults(func=_cmd_trace)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=[f"fig{i}" for i in range(4, 13)])

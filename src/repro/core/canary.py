@@ -52,6 +52,7 @@ from repro.storage.kvstore import KeyValueStore
 from repro.storage.router import CheckpointStorageRouter
 from repro.storage.tiers import TierRegistry
 from repro.strategies.factory import make_strategy
+from repro.trace.tracer import NULL_TRACER, NullTracer
 
 
 class CanaryPlatform:
@@ -94,11 +95,17 @@ class CanaryPlatform:
         reuse_containers: bool = False,
         heterogeneity_profiles: Optional[tuple] = None,
         network: Optional[NetworkModelConfig] = None,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         self.seed = seed
         self.config = config or PlatformConfig()
         self.pricing = pricing
         self.sim = Simulator(seed=seed)
+        # Span recorder threaded through every instrumented subsystem; the
+        # null default records nothing and reads no clock.  A real Tracer
+        # built without a clock gets bound to the virtual clock here.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.set_clock(lambda: self.sim.now)
         heterogeneity_kwargs = (
             {"profiles": heterogeneity_profiles}
             if heterogeneity_profiles is not None
@@ -126,6 +133,7 @@ class CanaryPlatform:
                 cluster=self.cluster,
                 tiers=self.tiers,
                 config=network,
+                tracer=self.tracer,
             )
             self.cluster.on_node_failure(
                 lambda node, lost: self.network.fail_endpoint(node.node_id)
@@ -139,6 +147,7 @@ class CanaryPlatform:
             start_rate_limit=start_rate_limit,
             reuse_containers=reuse_containers,
             network=self.network,
+            tracer=self.tracer,
         )
         self.router = CheckpointStorageRouter(
             self.kv,
@@ -151,6 +160,7 @@ class CanaryPlatform:
             self.ids,
             policy=checkpoint_policy or CheckpointPolicy(),
             flush_lag_s=checkpoint_flush_lag_s,
+            tracer=self.tracer,
         )
         self.runtime_manager = RuntimeManagerModule(self.database)
         self.metrics = MetricsCollector()
@@ -180,6 +190,7 @@ class CanaryPlatform:
             injector=self.injector,
             config=self.config,
             network=self.network,
+            tracer=self.tracer,
         )
         self.strategy = make_strategy(strategy, self.ctx)
         self.ctx.strategy = self.strategy
@@ -349,7 +360,12 @@ class CanaryPlatform:
                 self.cluster, controller=self.controller
             )
             self._node_failures_scheduled = True
-        return self.sim.run(until=until)
+        stopped_at = self.sim.run(until=until)
+        if self.sim.pending == 0:
+            # Run fully drained: bound any spans that never closed (e.g.
+            # unrecovered failures) so exports see finite intervals.
+            self.tracer.close_open(stopped_at, reason="end-of-run")
+        return stopped_at
 
     # ------------------------------------------------------------------
     # Results

@@ -20,6 +20,7 @@ from repro.faults.injector import FailureInjector
 from repro.metrics.collector import MetricsCollector
 from repro.runtime_manager.manager import RuntimeManagerModule
 from repro.sim.engine import Simulator
+from repro.trace.tracer import NULL_TRACER, NullTracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.execution import FunctionExecution
@@ -44,6 +45,9 @@ class PlatformContext:
     config: PlatformConfig
     #: Flow-level fabric; None selects the legacy uncontended transfers.
     network: Optional["FlowNetwork"] = None
+    #: Span recorder; the default NULL_TRACER keeps untraced runs free of
+    #: any tracing state (and byte-identical to pre-tracing behaviour).
+    tracer: NullTracer = NULL_TRACER
     replication: Optional["ReplicationModule"] = None
     strategy: Optional["RecoveryStrategy"] = None
     #: container_id -> owning execution, for dispatching loss events of

@@ -26,6 +26,7 @@ from repro.faas.container import Container, ContainerPurpose
 from repro.faas.controller import ContainerRequest
 from repro.metrics.collector import FailureEvent
 from repro.sim.engine import EventHandle
+from repro.trace.tracer import Span
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -62,6 +63,9 @@ class Attempt:
         self.state_started_at: Optional[float] = None
         self.state_duration: float = 0.0
         self.final_progress: Optional[float] = None
+        # Open tracing spans (None while untraced / after they close).
+        self.span: Optional[Span] = None
+        self.restore_span: Optional[Span] = None
 
     def continuous_progress(self, now: float) -> float:
         """Progress in state units, counting the in-flight state's fraction.
@@ -111,6 +115,8 @@ class FunctionExecution:
         self._pending_events: list[FailureEvent] = []
         self._base_durations = self._draw_state_durations()
         self._on_complete_cb = None  # set by the platform
+        self._invoke_span: Optional[Span] = None
+        self._recovery_spans: dict[int, Span] = {}  # id(event) -> span
 
     # ------------------------------------------------------------------
     # Deterministic per-function state durations
@@ -164,6 +170,13 @@ class FunctionExecution:
         """Called once by the platform after admission."""
         self.ctx.metrics.start_function(
             self.function_id, self.job.job_id, self.profile.name, self.ctx.sim.now
+        )
+        self._invoke_span = self.ctx.tracer.begin(
+            "invoke",
+            self.function_id,
+            function=self.function_id,
+            job=self.job.job_id,
+            workload=self.profile.name,
         )
         self.ctx.database.function_info.insert(
             {
@@ -262,11 +275,32 @@ class FunctionExecution:
             attempts=len(self.attempts),
         )
 
+        attempt.span = ctx.tracer.begin(
+            "exec",
+            f"exec:{attempt.attempt_id}",
+            parent=self._invoke_span,
+            function=self.function_id,
+            node=container.node.node_id,
+            container=container.container_id,
+            attempt=attempt.index,
+            via=via,
+            from_state=from_state,
+        )
         self._arm_timeout(attempt)
         delay = 0.0
         if adoption:
             delay += ctx.config.adoption_overhead_s
         if restore_record is not None:
+            attempt.restore_span = ctx.tracer.begin(
+                "restore",
+                f"restore:{attempt.attempt_id}",
+                parent=attempt.span,
+                function=self.function_id,
+                node=container.node.node_id,
+                tier=restore_record.ref.tier_name,
+                bytes=restore_record.ref.size_bytes,
+                from_state=from_state,
+            )
             if ctx.network is not None:
                 # The checkpoint fetch (part of t_res, Eq. 2) is a flow on
                 # the fabric: it competes with every other transfer, which
@@ -321,6 +355,9 @@ class FunctionExecution:
     def _begin_states(self, attempt: Attempt) -> None:
         if attempt.done or self.completed:
             return
+        if attempt.restore_span is not None:
+            self.ctx.tracer.finish(attempt.restore_span, outcome="restored")
+            attempt.restore_span = None
         attempt.running_states = True
         now = self.ctx.sim.now
         # Resuming marks the recovery "setup complete" point for any failure
@@ -458,6 +495,27 @@ class FunctionExecution:
             self._schedule_next_state(attempt)
 
     # ------------------------------------------------------------------
+    # Tracing helpers
+    # ------------------------------------------------------------------
+    def _finish_attempt_spans(self, attempt: Attempt, outcome: str) -> None:
+        tracer = self.ctx.tracer
+        if attempt.restore_span is not None:
+            tracer.finish(attempt.restore_span, outcome=outcome)
+            attempt.restore_span = None
+        if attempt.span is not None:
+            tracer.finish(
+                attempt.span, outcome=outcome, states=attempt.completed_states
+            )
+            attempt.span = None
+
+    def _finish_recovery_span(self, event: FailureEvent) -> None:
+        span = self._recovery_spans.pop(id(event), None)
+        if span is not None:
+            self.ctx.tracer.finish(
+                span, t=event.recovered_at, via=event.recovered_via
+            )
+
+    # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
     def _complete(self, winning: Attempt) -> None:
@@ -469,12 +527,19 @@ class FunctionExecution:
         self.status = FunctionState.COMPLETED
         winning.done = True
         winning.cancel_timers()
+        self._finish_attempt_spans(winning, "completed")
         # Any failure event still unresolved is resolved at completion: the
         # function is done, so by definition pre-failure progress is regained.
         for event in self._pending_events:
             if event.recovered_at is None:
                 event.recovered_at = now
+            self._finish_recovery_span(event)
         self._pending_events.clear()
+        if self._invoke_span is not None:
+            self.ctx.tracer.finish(
+                self._invoke_span, attempts=len(self.attempts)
+            )
+            self._invoke_span = None
         ctx = self.ctx
         ctx.metrics.note_completed(self.function_id, now)
         ctx.database.function_info.update(
@@ -489,6 +554,7 @@ class FunctionExecution:
                 continue
             attempt.done = True
             attempt.cancel_timers()
+            self._finish_attempt_spans(attempt, "cancelled")
             ctx.runtime_manager.untrack_function_container(attempt.container)
             ctx.controller.terminate(attempt.container, ContainerState.KILLED)
             ctx.release_owner(attempt.container.container_id)
@@ -531,6 +597,7 @@ class FunctionExecution:
             attempt.final_progress = attempt.continuous_progress(now)
             attempt.done = True
             attempt.cancel_timers()
+            self._finish_attempt_spans(attempt, reason)
             self.ctx.runtime_manager.untrack_function_container(container)
         event = FailureEvent(
             function_id=self.function_id,
@@ -541,6 +608,16 @@ class FunctionExecution:
         )
         self.ctx.metrics.record_failure(event)
         self._pending_events.append(event)
+        if self.ctx.tracer.enabled:
+            self._recovery_spans[id(event)] = self.ctx.tracer.begin(
+                "recovery",
+                f"recovery:{self.function_id}",
+                parent=self._invoke_span,
+                t=now,
+                function=self.function_id,
+                reason=reason,
+                progress=event.progress_states,
+            )
         survivors = self.live_attempts()
         if survivors:
             # A sibling is still running (request replication): recovery is
@@ -580,6 +657,7 @@ class FunctionExecution:
         attempt.final_progress = attempt.continuous_progress(ctx.sim.now)
         attempt.done = True
         attempt.cancel_timers()
+        self._finish_attempt_spans(attempt, "migrated")
         self._live.pop(attempt.container.container_id, None)
         ctx.release_owner(attempt.container.container_id)
         ctx.runtime_manager.untrack_function_container(attempt.container)
@@ -636,6 +714,7 @@ class FunctionExecution:
             for attempt in live:
                 if attempt.continuous_progress(now) >= target:
                     event.recovered_at = now
+                    self._finish_recovery_span(event)
                     break
                 if (
                     attempt.state_started_at is not None
@@ -669,6 +748,7 @@ class FunctionExecution:
             )
             if regained:
                 event.recovered_at = now
+                self._finish_recovery_span(event)
                 if event in self._pending_events:
                     self._pending_events.remove(event)
 

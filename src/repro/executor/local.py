@@ -16,9 +16,11 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.common.errors import ReproError
 from repro.common.units import MiB
 from repro.executor.context import CheckpointContext, FunctionKilled
 from repro.executor.store import RealCheckpointStore
+from repro.trace.tracer import NULL_TRACER, NullTracer
 
 #: A stateful function: receives the checkpoint context, returns its result.
 StatefulFunction = Callable[[CheckpointContext], Any]
@@ -26,6 +28,12 @@ StatefulFunction = Callable[[CheckpointContext], Any]
 
 class FaultPlan:
     """Which (function, state) boundaries to kill, each at most once.
+
+    Kills fire-or-expire: a kill scheduled at boundary *s* fires at the
+    first consulted boundary with index >= *s*.  Exact matching used to
+    leave kills stuck forever when a restore (or a guard-sparse function)
+    skipped past the scheduled boundary — the chaos test then reported a
+    clean run while most of its planned kills never happened.
 
     Thread-safe: attempts across the pool consult it concurrently.
     """
@@ -40,11 +48,42 @@ class FaultPlan:
     def should_kill(self, function_id: str, state_index: int) -> bool:
         with self._lock:
             states = self._pending.get(function_id)
-            if states and states[0] == state_index:
+            if states and states[0] <= state_index:
                 states.pop(0)
                 self.kills_fired += 1
                 return True
             return False
+
+    def pending_kills(self) -> dict[str, tuple[int, ...]]:
+        """Kills that have not fired yet (empty after a full chaos run)."""
+        with self._lock:
+            return {
+                fid: tuple(states)
+                for fid, states in self._pending.items()
+                if states
+            }
+
+
+class JobExecutionError(ReproError):
+    """One or more functions of a job failed.
+
+    Carries the full picture so a partial failure is not a total loss:
+    ``results`` holds every function that completed, ``failures`` maps each
+    failing function id to the exception it raised.
+    """
+
+    def __init__(
+        self,
+        failures: dict[str, BaseException],
+        results: dict[str, "FunctionResult"],
+    ) -> None:
+        names = ", ".join(sorted(failures))
+        super().__init__(
+            f"{len(failures)} of {len(failures) + len(results)} "
+            f"functions failed: {names}"
+        )
+        self.failures = failures
+        self.results = results
 
 
 @dataclass
@@ -74,6 +113,8 @@ class LocalExecutor:
         db_limit_bytes: Per-key limit of the backing KV store.
         max_attempts: Safety bound on recovery loops.
         max_workers: Thread-pool width for ``run_job``.
+        tracer: Span tracer; pass :func:`repro.trace.wallclock_tracer` to
+            record real invoke/exec spans (thread-safe).  Default: off.
     """
 
     def __init__(
@@ -85,6 +126,7 @@ class LocalExecutor:
         db_limit_bytes: float = 8 * MiB,
         max_attempts: int = 50,
         max_workers: int = 4,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         if strategy not in ("canary", "retry"):
             raise ValueError(
@@ -99,19 +141,33 @@ class LocalExecutor:
         )
         self.max_attempts = max_attempts
         self.max_workers = max_workers
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.set_clock(time.perf_counter)
 
     # ------------------------------------------------------------------
     def run_function(
         self, function_id: str, fn: StatefulFunction
     ) -> FunctionResult:
         """Run *fn* to completion, recovering from injected kills."""
+        tracer = self.tracer
         start = time.perf_counter()
         attempts = 0
         kills = 0
         restored_states: list[Optional[int]] = []
+        invoke_span = tracer.begin(
+            "invoke",
+            function_id,
+            function=function_id,
+            strategy=self.strategy,
+            thread=threading.current_thread().name,
+        )
         while True:
             attempts += 1
             if attempts > self.max_attempts:
+                tracer.finish(
+                    invoke_span, outcome="exhausted",
+                    attempts=attempts - 1, kills=kills,
+                )
                 raise RuntimeError(
                     f"function {function_id} exceeded "
                     f"{self.max_attempts} attempts"
@@ -122,17 +178,44 @@ class LocalExecutor:
                 kill_hook=self.fault_plan.should_kill,
                 checkpoints_enabled=self.strategy == "canary",
             )
+            exec_span = tracer.begin(
+                "exec",
+                f"exec:{function_id}:{attempts}",
+                parent=invoke_span,
+                function=function_id,
+                attempt=attempts,
+            )
             try:
                 value = fn(ctx)
-            except FunctionKilled:
+            except FunctionKilled as exc:
                 kills += 1
                 restored_states.append(ctx.restored_from)
+                tracer.finish(
+                    exec_span, outcome="killed",
+                    state=exc.state_index,
+                    restored_from=ctx.restored_from,
+                )
                 if self.strategy == "retry":
                     # Retry semantics: nothing survives the container.
                     self.store.drop(function_id)
                 continue
+            except BaseException:
+                tracer.finish(exec_span, outcome="error")
+                tracer.finish(
+                    invoke_span, outcome="error",
+                    attempts=attempts, kills=kills,
+                )
+                raise
             restored_states.append(ctx.restored_from)
+            tracer.finish(
+                exec_span, outcome="completed",
+                restored_from=ctx.restored_from,
+            )
             self.store.drop(function_id)  # function done; free checkpoints
+            tracer.finish(
+                invoke_span, outcome="completed",
+                attempts=attempts, kills=kills,
+            )
             return FunctionResult(
                 function_id=function_id,
                 value=value,
@@ -145,15 +228,27 @@ class LocalExecutor:
     def run_job(
         self, functions: dict[str, StatefulFunction]
     ) -> dict[str, FunctionResult]:
-        """Run independent functions across a thread pool."""
+        """Run independent functions across a thread pool.
+
+        Functions are independent, so one failure must not discard the
+        others' work: every future is drained, completed results are kept,
+        and a single :class:`JobExecutionError` reports the failures while
+        carrying the surviving results.
+        """
         if not functions:
             return {}
         results: dict[str, FunctionResult] = {}
+        failures: dict[str, BaseException] = {}
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             futures = {
                 fid: pool.submit(self.run_function, fid, fn)
                 for fid, fn in functions.items()
             }
             for fid, future in futures.items():
-                results[fid] = future.result()
+                try:
+                    results[fid] = future.result()
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    failures[fid] = exc
+        if failures:
+            raise JobExecutionError(failures, results)
         return results

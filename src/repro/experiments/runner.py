@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.core.canary import CanaryPlatform
@@ -11,6 +12,7 @@ from repro.core.jobs import JobRequest
 from repro.common.types import ReplicationStrategyName
 from repro.experiments.config import DEFAULT_SEEDS, ScenarioConfig
 from repro.metrics.summary import RunSummary
+from repro.trace.tracer import NullTracer, Span, Tracer
 from repro.workloads.profiles import get_workload
 
 
@@ -25,8 +27,12 @@ def _node_failure_window(
     return (5.0, max(horizon, 30.0))
 
 
-def run_scenario(scenario: ScenarioConfig, seed: int = 0) -> RunSummary:
-    """Run one scenario once and return its summary."""
+def _run_platform(
+    scenario: ScenarioConfig,
+    seed: int,
+    tracer: Optional[NullTracer] = None,
+) -> CanaryPlatform:
+    """Build, load, and run the platform for one scenario/seed cell."""
     workload = get_workload(scenario.workload)
     config = scenario.platform_config or PlatformConfig(
         require_shared_spill=scenario.node_failure_count > 0
@@ -45,6 +51,7 @@ def run_scenario(scenario: ScenarioConfig, seed: int = 0) -> RunSummary:
         checkpoint_policy=scenario.checkpoint_policy,
         config=config,
         network=scenario.network,
+        tracer=tracer,
     )
     for _ in range(scenario.jobs):
         platform.submit_job(
@@ -58,7 +65,38 @@ def run_scenario(scenario: ScenarioConfig, seed: int = 0) -> RunSummary:
             )
         )
     platform.run()
-    return platform.summary()
+    return platform
+
+
+def run_scenario(scenario: ScenarioConfig, seed: int = 0) -> RunSummary:
+    """Run one scenario once and return its summary."""
+    return _run_platform(scenario, seed).summary()
+
+
+@dataclass(frozen=True)
+class TracedRun:
+    """A scenario run plus the spans it emitted.
+
+    Picklable on purpose: :func:`run_traced` is usable as the ``runner``
+    for :func:`repro.experiments.parallel.run_cells`, and the trace
+    determinism tests compare serial vs. pool-fanned results byte for
+    byte after export.
+    """
+
+    summary: RunSummary
+    spans: tuple[Span, ...]
+
+
+def run_traced(scenario: ScenarioConfig, seed: int = 0) -> TracedRun:
+    """Run one scenario with span tracing enabled.
+
+    The tracer only *observes* the run (it reads the virtual clock and
+    appends to a list), so the summary is identical to an untraced
+    :func:`run_scenario` at the same seed.
+    """
+    tracer = Tracer()
+    platform = _run_platform(scenario, seed, tracer=tracer)
+    return TracedRun(summary=platform.summary(), spans=tracer.spans())
 
 
 def run_repeated(

@@ -24,6 +24,7 @@ from repro.faas.invoker import Invoker
 from repro.faas.limits import PlatformLimits
 from repro.faas.runtimes import RuntimeRegistry
 from repro.sim.engine import Simulator
+from repro.trace.tracer import NULL_TRACER, NullTracer, Span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.fabric import FlowNetwork
@@ -50,6 +51,8 @@ class ContainerRequest:
     #: invoked as soon as the container object exists (cold start still
     #: pending) so owners can subscribe to loss events during launch
     on_placed: Optional[Callable[[Container], None]] = None
+    #: open "queue" span while the request waits in the controller queue
+    queue_span: Optional[Span] = None
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -70,6 +73,7 @@ class FaaSController:
         reuse_containers: bool = False,
         reuse_idle_timeout_s: float = 60.0,
         network: Optional["FlowNetwork"] = None,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         """
         Args:
@@ -96,9 +100,14 @@ class FaaSController:
         self.cluster = cluster
         self.runtimes = runtimes or RuntimeRegistry()
         self.limits = limits or PlatformLimits()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.invokers: dict[str, Invoker] = {
             node.node_id: Invoker(
-                sim, node, contention_gamma=contention_gamma, network=network
+                sim,
+                node,
+                contention_gamma=contention_gamma,
+                network=network,
+                tracer=self.tracer,
             )
             for node in cluster.nodes
         }
@@ -180,9 +189,20 @@ class FaaSController:
         """Place *request* now if possible, else queue it FIFO."""
         if not self._try_place(request):
             request.queued_at = self.sim.now
+            request.queue_span = self.tracer.begin(
+                "queue",
+                f"queue:{request.kind.value}",
+                runtime=request.kind.value,
+                purpose=request.purpose.value,
+            )
             self._queue.append(request)
             self.queued_requests_total += 1
         return request
+
+    def _end_queue_span(self, request: ContainerRequest, outcome: str) -> None:
+        if request.queue_span is not None:
+            self.tracer.finish(request.queue_span, outcome=outcome)
+            request.queue_span = None
 
     # ------------------------------------------------------------------
     # Start-rate limiting (controller bottleneck model)
@@ -236,6 +256,7 @@ class FaaSController:
             request.container = container
             if request.queued_at is not None:
                 self.queue_wait_total_s += self.sim.now - request.queued_at
+            self._end_queue_span(request, "warm-reuse")
             self.warm_starts += 1
             # WARM -> RUNNING without a cold start; the execution binds the
             # function id when it begins its attempt.
@@ -268,6 +289,7 @@ class FaaSController:
 
     def _try_place(self, request: ContainerRequest) -> bool:
         if request.cancelled:
+            self._end_queue_span(request, "cancelled")
             return True  # drop silently
         runtime = self.runtimes.get(request.kind)
         memory = (
@@ -298,6 +320,7 @@ class FaaSController:
         request.container = container
         if request.queued_at is not None:
             self.queue_wait_total_s += self.sim.now - request.queued_at
+        self._end_queue_span(request, "placed")
         if request.on_placed is not None:
             request.on_placed(container)
 
@@ -316,6 +339,7 @@ class FaaSController:
         while self._queue:
             request = self._queue[0]
             if request.cancelled:
+                self._end_queue_span(request, "cancelled")
                 self._queue.popleft()
                 continue
             if not self._try_place(request):

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.cluster.node import Node
 from repro.faas.container import Container
 from repro.sim.engine import Simulator
+from repro.trace.tracer import NULL_TRACER, NullTracer, Span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.fabric import FlowNetwork
@@ -40,6 +41,7 @@ class Invoker:
         *,
         contention_gamma: float = 0.12,
         network: Optional["FlowNetwork"] = None,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         if contention_gamma < 0:
             raise ValueError("contention_gamma must be non-negative")
@@ -47,11 +49,14 @@ class Invoker:
         self.node = node
         self.contention_gamma = contention_gamma
         self.network = network
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cold_starts_total = 0
         # Handle of the step that will (eventually) make the container
         # ready: an image-pull FlowHandle or the launch+init EventHandle.
         # Both expose ``cancel()``.
         self._pending_ready: dict[str, object] = {}
+        # Open "cold_start" span per in-flight launch.
+        self._cold_spans: dict[str, Span] = {}
 
     # ------------------------------------------------------------------
     def _contention_multiplier(self) -> float:
@@ -76,13 +81,21 @@ class Invoker:
         self.node.cold_starts_in_flight += 1
         self.cold_starts_total += 1
         container.mark_launching(self.sim.now)
+        self._cold_spans[container.container_id] = self.tracer.begin(
+            "cold_start",
+            f"cold_start:{container.container_id}",
+            node=self.node.node_id,
+            container=container.container_id,
+            runtime=container.kind.value,
+            warm=warm,
+        )
         network = self.network
         if network is not None and network.models_image_pulls:
             # Pull the image over the fabric first; the launch/init phases
             # (and their contention multiplier) start once it lands.
             def _pulled() -> None:
                 if container.terminal or not self.node.alive:
-                    self._cold_start_done(container)
+                    self._cold_start_done(container, outcome="dead")
                     return
                 self._launch_phases(container, on_ready, warm=warm)
 
@@ -116,13 +129,16 @@ class Invoker:
 
         def _to_init() -> None:
             if container.terminal or not self.node.alive:
-                self._cold_start_done(container)
+                self._cold_start_done(container, outcome="dead")
                 return
             container.mark_initializing()
 
         def _to_ready() -> None:
-            self._cold_start_done(container)
-            if container.terminal or not self.node.alive:
+            alive = not container.terminal and self.node.alive
+            self._cold_start_done(
+                container, outcome="ready" if alive else "dead"
+            )
+            if not alive:
                 return
             container.mark_ready(self.sim.now, warm=warm)
             on_ready(container)
@@ -136,21 +152,30 @@ class Invoker:
         self._pending_ready[container.container_id] = handle
         return launch + init
 
-    def _cold_start_done(self, container: Container) -> None:
+    def _cold_start_done(
+        self, container: Container, outcome: str = "ready"
+    ) -> None:
         if container.container_id in self._pending_ready:
             del self._pending_ready[container.container_id]
             if self.node.cold_starts_in_flight > 0:
                 self.node.cold_starts_in_flight -= 1
+        span = self._cold_spans.pop(container.container_id, None)
+        if span is not None:
+            self.tracer.finish(span, outcome=outcome)
 
     def abort_cold_start(self, container: Container) -> None:
         """Cancel an in-flight cold start (container killed mid-launch)."""
         handle = self._pending_ready.get(container.container_id)
         if handle is not None:
             handle.cancel()
-            self._cold_start_done(container)
+            self._cold_start_done(container, outcome="aborted")
 
     def on_node_failure(self) -> None:
         """Drop all in-flight cold starts when the node dies."""
         for handle in self._pending_ready.values():
             handle.cancel()
         self._pending_ready.clear()
+        tracer = self.tracer
+        for span in self._cold_spans.values():
+            tracer.finish(span, outcome="node-failure")
+        self._cold_spans.clear()

@@ -22,52 +22,54 @@ class TimelineEvent:
     detail: str = ""
 
 
+def _trace_events(trace) -> list[TimelineEvent]:
+    """Events of one function trace, unsorted."""
+    events = [
+        TimelineEvent(trace.submitted_at, trace.function_id, "submitted")
+    ]
+    if trace.first_ready_at is not None:
+        events.append(
+            TimelineEvent(trace.first_ready_at, trace.function_id, "ready")
+        )
+    for failure in trace.failures:
+        events.append(
+            TimelineEvent(
+                failure.kill_time,
+                trace.function_id,
+                "killed",
+                failure.reason,
+            )
+        )
+        if failure.resume_time is not None:
+            events.append(
+                TimelineEvent(
+                    failure.resume_time,
+                    trace.function_id,
+                    "resumed",
+                    failure.recovered_via,
+                )
+            )
+        if failure.recovered_at is not None:
+            events.append(
+                TimelineEvent(
+                    failure.recovered_at,
+                    trace.function_id,
+                    "recovered",
+                    f"lost={failure.recovery_time:.2f}s",
+                )
+            )
+    if trace.completed_at is not None:
+        events.append(
+            TimelineEvent(trace.completed_at, trace.function_id, "completed")
+        )
+    return events
+
+
 def build_timeline(metrics: MetricsCollector) -> list[TimelineEvent]:
     """Flatten all traces into one chronologically sorted event list."""
     events: list[TimelineEvent] = []
     for trace in metrics.traces.values():
-        events.append(
-            TimelineEvent(trace.submitted_at, trace.function_id, "submitted")
-        )
-        if trace.first_ready_at is not None:
-            events.append(
-                TimelineEvent(
-                    trace.first_ready_at, trace.function_id, "ready"
-                )
-            )
-        for failure in trace.failures:
-            events.append(
-                TimelineEvent(
-                    failure.kill_time,
-                    trace.function_id,
-                    "killed",
-                    failure.reason,
-                )
-            )
-            if failure.resume_time is not None:
-                events.append(
-                    TimelineEvent(
-                        failure.resume_time,
-                        trace.function_id,
-                        "resumed",
-                        failure.recovered_via,
-                    )
-                )
-            if failure.recovered_at is not None:
-                events.append(
-                    TimelineEvent(
-                        failure.recovered_at,
-                        trace.function_id,
-                        "recovered",
-                        f"lost={failure.recovery_time:.2f}s",
-                    )
-                )
-        if trace.completed_at is not None:
-            events.append(
-                TimelineEvent(
-                    trace.completed_at, trace.function_id, "completed"
-                )
-            )
+        events.extend(_trace_events(trace))
     events.sort()
     return events
 
@@ -75,10 +77,16 @@ def build_timeline(metrics: MetricsCollector) -> list[TimelineEvent]:
 def iter_function_timeline(
     metrics: MetricsCollector, function_id: str
 ) -> Iterator[TimelineEvent]:
-    """Events of a single function, in order."""
-    for event in build_timeline(metrics):
-        if event.function_id == function_id:
-            yield event
+    """Events of a single function, in order.
+
+    Indexes straight into the function's own trace instead of rebuilding
+    (and sorting) the whole run's timeline per call — iterating every
+    function used to be quadratic in the number of functions.
+    """
+    trace = metrics.traces.get(function_id)
+    if trace is None:
+        return
+    yield from sorted(_trace_events(trace))
 
 
 def render_timeline(

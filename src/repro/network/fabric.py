@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.network.config import NetworkModelConfig
 from repro.network.link import Link
 from repro.sim.engine import EventHandle, Simulator
+from repro.trace.tracer import NULL_TRACER, NullTracer, Span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
@@ -56,6 +57,7 @@ class _Flow:
         "started_at",
         "min_duration_s",
         "finished",
+        "span",
     )
 
     def __init__(
@@ -82,6 +84,7 @@ class _Flow:
         self.started_at = started_at
         self.min_duration_s = min_duration_s
         self.finished = False
+        self.span: Optional[Span] = None
 
 
 class FlowHandle:
@@ -121,10 +124,12 @@ class FlowNetwork:
         cluster: "Cluster",
         tiers: "TierRegistry",
         config: NetworkModelConfig,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.tiers = tiers
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._node_rack: dict[str, str] = {
             node.node_id: node.rack for node in cluster.nodes
         }
@@ -419,6 +424,15 @@ class FlowNetwork:
             started_at=self.sim.now,
             min_duration_s=min_duration,
         )
+        if self.tracer.enabled:
+            attrs = {"bytes": size_bytes, "hops": len(links)}
+            if endpoints:
+                attrs["node"] = endpoints[0]
+                if len(endpoints) > 1:
+                    attrs["dst"] = endpoints[-1]
+            flow.span = self.tracer.begin(
+                "network_flow", label or f"flow-{flow.flow_id}", **attrs
+            )
         self.flows_started += 1
         if not links or size_bytes <= 0:
             # Fabric bypass: same-node / local-tier, pure duration charge.
@@ -453,6 +467,8 @@ class FlowNetwork:
         flow.latency_handle = None
         self.flows_completed += 1
         self.bytes_completed += flow.size_bytes
+        if flow.span is not None:
+            self.tracer.finish(flow.span, outcome="completed")
         callback = flow.on_complete
         flow.on_complete = None
         if callback is not None:
@@ -485,9 +501,14 @@ class FlowNetwork:
             link.detach()
         self.flows_completed += 1
         self.bytes_completed += flow.size_bytes
-        self.contention_delay_s += max(
+        contention = max(
             0.0, (self.sim.now - flow.started_at) - flow.min_duration_s
         )
+        self.contention_delay_s += contention
+        if flow.span is not None:
+            self.tracer.finish(
+                flow.span, outcome="completed", contention_s=contention
+            )
         self._reschedule()
         callback = flow.on_complete
         flow.on_complete = None
@@ -499,6 +520,8 @@ class FlowNetwork:
             return
         flow.finished = True
         flow.on_complete = None
+        if flow.span is not None:
+            self.tracer.finish(flow.span, outcome="cancelled")
         if flow.latency_handle is not None:
             flow.latency_handle.cancel()
             flow.latency_handle = None

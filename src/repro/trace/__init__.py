@@ -1,0 +1,51 @@
+"""Deterministic span-based tracing for the simulator and the real executor.
+
+The tracing layer answers the paper's §V question — *where does time go
+during recovery?* — as data instead of print statements.  A
+:class:`~repro.trace.tracer.Tracer` records nested spans (``invoke`` →
+``queue``/``cold_start``/``exec``/``checkpoint_write``/``flush``/
+``restore``/``network_flow``/``recovery``) against whatever clock it is
+bound to: the virtual clock for simulated runs (making traced output a
+pure function of the seed) or ``time.perf_counter`` for the thread-based
+local executor.  The default everywhere is the no-op
+:class:`~repro.trace.tracer.NullTracer`, so untraced runs stay
+byte-identical to the pre-tracing behaviour.
+
+Exporters live in :mod:`repro.trace.export` (Chrome ``trace_event`` JSON
+loadable in ``chrome://tracing`` / Perfetto, and flat JSONL); per-kind
+aggregate statistics in :mod:`repro.trace.stats`.
+"""
+
+from repro.trace.export import (
+    chrome_trace_bytes,
+    jsonl_bytes,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.trace.stats import SpanKindStats, aggregate_spans, format_stats_table
+from repro.trace.tracer import (
+    NULL_TRACER,
+    SPAN_KINDS,
+    NullTracer,
+    Span,
+    Tracer,
+    wallclock_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "SPAN_KINDS",
+    "NullTracer",
+    "Span",
+    "SpanKindStats",
+    "Tracer",
+    "aggregate_spans",
+    "chrome_trace_bytes",
+    "format_stats_table",
+    "jsonl_bytes",
+    "validate_chrome_trace",
+    "wallclock_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,208 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and flat JSONL.
+
+Both exporters are deterministic byte-for-byte: spans are ordered by
+``(start, span_id)`` (both pure functions of the seed for simulated runs),
+every mapping is serialized with sorted keys and fixed separators, and no
+wall-clock or environment data leaks into the output.  The Chrome file
+loads directly in ``chrome://tracing`` or https://ui.perfetto.dev; rows
+group by node (process) and function/container (thread).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Union
+
+from repro.trace.tracer import Span
+
+#: Chrome's complete-event phase; the only phase we emit besides metadata.
+_PHASE_COMPLETE = "X"
+_PHASE_METADATA = "M"
+
+
+def _ordered(spans: Iterable[Span]) -> list[Span]:
+    return sorted(spans, key=lambda s: (s.start, s.span_id))
+
+
+def _process_label(span: Span) -> str:
+    node = span.attrs.get("node")
+    return str(node) if node else "platform"
+
+
+def _thread_label(span: Span) -> str:
+    for key in ("function", "container", "flow"):
+        value = span.attrs.get(key)
+        if value:
+            return str(value)
+    return span.kind
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """Build the Chrome ``trace_event`` document (a JSON-ready dict).
+
+    Spans map to complete ("X") events; processes are nodes (or
+    ``platform`` for control-plane spans) and threads are functions /
+    containers / flows, so the tracing UI renders one recovery story per
+    lane.  Unfinished spans are skipped — close them first (the platform
+    calls ``tracer.close_open`` at end of run).
+    """
+    ordered = [s for s in _ordered(spans) if s.finished]
+    process_labels = sorted({_process_label(s) for s in ordered})
+    pids = {label: index + 1 for index, label in enumerate(process_labels)}
+    thread_labels = sorted(
+        {(_process_label(s), _thread_label(s)) for s in ordered}
+    )
+    tids: dict[tuple[str, str], int] = {}
+    per_process_count: dict[str, int] = {}
+    for process, thread in thread_labels:
+        per_process_count[process] = per_process_count.get(process, 0) + 1
+        tids[(process, thread)] = per_process_count[process]
+
+    events: list[dict[str, Any]] = []
+    for label in process_labels:
+        events.append(
+            {
+                "ph": _PHASE_METADATA,
+                "name": "process_name",
+                "pid": pids[label],
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for process, thread in thread_labels:
+        events.append(
+            {
+                "ph": _PHASE_METADATA,
+                "name": "thread_name",
+                "pid": pids[process],
+                "tid": tids[(process, thread)],
+                "args": {"name": thread},
+            }
+        )
+    for span in ordered:
+        process = _process_label(span)
+        args: dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        for key in sorted(span.attrs):
+            args[key] = span.attrs[key]
+        events.append(
+            {
+                "ph": _PHASE_COMPLETE,
+                "name": span.name,
+                "cat": span.kind,
+                "ts": span.start * 1e6,
+                "dur": (span.end - span.start) * 1e6,
+                "pid": pids[process],
+                "tid": tids[(process, _thread_label(span))],
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_bytes(spans: Iterable[Span]) -> bytes:
+    """Deterministic serialized form of :func:`to_chrome_trace`."""
+    document = to_chrome_trace(spans)
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> int:
+    """Write the Chrome JSON to *path*; returns the byte count."""
+    data = chrome_trace_bytes(spans)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def jsonl_bytes(spans: Iterable[Span]) -> bytes:
+    """Flat JSONL: one span object per line, ``(start, span_id)``-ordered."""
+    lines = []
+    for span in _ordered(spans):
+        lines.append(
+            json.dumps(
+                {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "kind": span.kind,
+                    "name": span.name,
+                    "start": span.start,
+                    "end": span.end,
+                    "attrs": span.attrs,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    data = jsonl_bytes(spans)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def validate_chrome_trace(source: Union[str, bytes, dict]) -> int:
+    """Validate a Chrome ``trace_event`` document; return the event count.
+
+    Accepts a file path, serialized bytes, or the parsed dict.  Raises
+    ``ValueError`` describing the first violation.  Used by the trace
+    tests and the CI trace-smoke step.
+    """
+    if isinstance(source, dict):
+        document = source
+    elif isinstance(source, bytes):
+        document = json.loads(source.decode("utf-8"))
+    else:
+        with open(source, "rb") as handle:
+            document = json.loads(handle.read().decode("utf-8"))
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{index} is not an object")
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event #{index} missing {key!r}")
+        phase = event["ph"]
+        if phase not in (_PHASE_COMPLETE, _PHASE_METADATA):
+            raise ValueError(f"event #{index} has unknown phase {phase!r}")
+        if phase == _PHASE_COMPLETE:
+            for key in ("ts", "dur", "cat", "args"):
+                if key not in event:
+                    raise ValueError(f"event #{index} missing {key!r}")
+            if event["dur"] < 0:
+                raise ValueError(f"event #{index} has negative duration")
+            if event["ts"] < 0:
+                raise ValueError(f"event #{index} has negative timestamp")
+    return len(events)
+
+
+def spans_from_jsonl(data: Union[str, bytes]) -> list[Span]:
+    """Parse a JSONL export back into :class:`Span` records (round-trip)."""
+    if isinstance(data, bytes):
+        data = data.decode("utf-8")
+    spans: list[Span] = []
+    for line in data.splitlines():
+        if not line.strip():
+            continue
+        raw = json.loads(line)
+        spans.append(
+            Span(
+                span_id=raw["span_id"],
+                parent_id=raw["parent_id"],
+                kind=raw["kind"],
+                name=raw["name"],
+                start=raw["start"],
+                end=raw["end"],
+                attrs=raw["attrs"],
+            )
+        )
+    return spans

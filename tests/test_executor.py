@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.units import KiB
 from repro.executor.context import CheckpointContext
-from repro.executor.local import FaultPlan, LocalExecutor
+from repro.executor.local import FaultPlan, JobExecutionError, LocalExecutor
 from repro.executor.store import RealCheckpointStore
 
 
@@ -88,6 +88,31 @@ class TestFaultPlan:
 
     def test_unknown_function_never_killed(self):
         assert not FaultPlan({"f1": [0]}).should_kill("f2", 0)
+
+    def test_skipped_boundary_fires_at_next_consult(self):
+        # A restore can skip past the scheduled boundary (e.g. a kill at
+        # state 2 when the function resumes at state 3); the kill must
+        # fire at the next consulted boundary instead of sticking forever.
+        plan = FaultPlan({"f1": [2]})
+        assert plan.should_kill("f1", 4)
+        assert plan.pending_kills() == {}
+        assert plan.kills_fired == 1
+
+    def test_one_kill_per_consult(self):
+        plan = FaultPlan({"f1": [1, 2]})
+        assert plan.should_kill("f1", 5)
+        assert plan.should_kill("f1", 5)
+        assert not plan.should_kill("f1", 5)
+        assert plan.kills_fired == 2
+
+    def test_pending_kills_reports_remaining(self):
+        plan = FaultPlan({"f1": [2, 5], "f2": [1]})
+        assert plan.pending_kills() == {"f1": (2, 5), "f2": (1,)}
+        assert plan.should_kill("f1", 3)
+        assert plan.pending_kills() == {"f1": (5,), "f2": (1,)}
+
+    def test_pending_kills_empty_plan(self):
+        assert FaultPlan().pending_kills() == {}
 
 
 class TestLocalExecutorCanary:
@@ -192,3 +217,72 @@ class TestLocalExecutorMisc:
 
     def test_run_job_empty(self):
         assert LocalExecutor().run_job({}) == {}
+
+    def test_sparse_checkpoints_still_drain_fault_plan(self):
+        # The function only hits boundaries 0, 2, 4; a kill scheduled at
+        # 3 fires at boundary 4 (fire-or-expire), and the run ends with
+        # an empty plan instead of a silently skipped kill.
+        def sparse(ctx):
+            acc = []
+            start = 0
+            restored = ctx.restore()
+            if restored is not None:
+                start = restored[0] + 1
+                acc = list(restored[1])
+            for i in range(start, 6):
+                acc.append(i)
+                if i % 2 == 0:
+                    ctx.save(i, acc)
+            return acc
+
+        plan = FaultPlan({"f1": [3]})
+        executor = LocalExecutor(strategy="canary", fault_plan=plan)
+        result = executor.run_function("f1", sparse)
+        assert result.value == [0, 1, 2, 3, 4, 5]
+        assert result.kills == 1
+        assert plan.pending_kills() == {}
+
+
+class TestRunJobPartialFailure:
+    def test_one_failure_keeps_other_results(self):
+        executor = LocalExecutor(strategy="canary", max_workers=4)
+
+        def boom(ctx):
+            raise ValueError("application bug")
+
+        functions = {
+            f"f{i}": counting_function(n_states=3) for i in range(5)
+        }
+        functions["f-bad"] = boom
+        with pytest.raises(JobExecutionError) as excinfo:
+            executor.run_job(functions)
+        error = excinfo.value
+        assert set(error.failures) == {"f-bad"}
+        assert isinstance(error.failures["f-bad"], ValueError)
+        assert set(error.results) == {f"f{i}" for i in range(5)}
+        assert all(
+            r.value == [0, 1, 2] for r in error.results.values()
+        )
+        assert "1 of 6 functions failed" in str(error)
+        assert "f-bad" in str(error)
+
+    def test_multiple_failures_all_reported(self):
+        executor = LocalExecutor(strategy="canary", max_workers=2)
+
+        def make_boom(msg):
+            def boom(ctx):
+                raise RuntimeError(msg)
+
+            return boom
+
+        with pytest.raises(JobExecutionError) as excinfo:
+            executor.run_job(
+                {
+                    "a": make_boom("a died"),
+                    "b": counting_function(n_states=2),
+                    "c": make_boom("c died"),
+                }
+            )
+        error = excinfo.value
+        assert set(error.failures) == {"a", "c"}
+        assert set(error.results) == {"b"}

@@ -1,0 +1,125 @@
+"""Concurrency stress tests: RealCheckpointStore hammered from many threads.
+
+The simulated platform is single-threaded, but the real executor is not:
+``run_job`` drives save/restore/drop from a thread pool while the fault
+plan injects kills at state boundaries.  These tests exist to catch lock
+regressions (lost updates, broken chains, leaked KV bytes) that the
+single-threaded tests can never see.
+"""
+
+import threading
+
+from repro.common.units import KiB
+from repro.executor.context import CheckpointContext
+from repro.executor.local import FaultPlan, LocalExecutor
+from repro.executor.store import RealCheckpointStore
+
+N_THREADS = 8
+N_ROUNDS = 60
+
+
+class TestStoreThreadHammer:
+    def test_save_restore_drop_hammer(self):
+        """Many threads share few function ids; invariants must hold."""
+        store = RealCheckpointStore(retention=2, db_limit_bytes=4 * KiB)
+        barrier = threading.Barrier(N_THREADS)
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            fid = f"fn-{tid % 4}"  # deliberate cross-thread sharing
+            try:
+                barrier.wait()
+                for i in range(N_ROUNDS):
+                    payload = [tid] * (8 + (i % 50) * 16)
+                    store.save(fid, i, payload)
+                    restored = store.restore(fid)
+                    # Another thread may drop between save and restore;
+                    # what we must never see is a torn record.
+                    if restored is not None:
+                        state, value = restored
+                        assert isinstance(state, int)
+                        assert isinstance(value, list) and len(set(value)) == 1
+                    if i % 15 == 14:
+                        store.drop(fid)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        for tid in range(4):
+            assert store.chain_length(f"fn-{tid}") <= store.retention
+        # Dropping everything must return the KV store to empty: a leak
+        # here means save/drop raced and orphaned an entry.
+        for tid in range(4):
+            store.drop(f"fn-{tid}")
+        assert store.kv.used_bytes == 0.0
+        assert not store._spill
+
+    def test_spill_path_under_contention(self):
+        """Oversized payloads spill; concurrent restores must see them."""
+        store = RealCheckpointStore(retention=1, db_limit_bytes=1 * KiB)
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            fid = f"big-{tid}"
+            try:
+                for i in range(20):
+                    store.save(fid, i, list(range(2_000)))
+                    state, payload = store.restore(fid)
+                    assert payload == list(range(2_000))
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,)) for tid in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert store.spilled >= 6 * 20
+
+
+class TestExecutorChaos:
+    def test_run_job_under_fault_injection(self):
+        """Full pool + kill schedule: every kill fires, nothing leaks."""
+        kills = {f"f{i}": [1, 3] for i in range(0, 12, 2)}
+        plan = FaultPlan(kills)
+        executor = LocalExecutor(
+            strategy="canary", fault_plan=plan, max_workers=6
+        )
+
+        def make_fn(n_states: int):
+            def fn(ctx: CheckpointContext):
+                acc = []
+                start = 0
+                restored = ctx.restore()
+                if restored is not None:
+                    start = restored[0] + 1
+                    acc = list(restored[1])
+                for i in range(start, n_states):
+                    acc.append(i)
+                    ctx.save(i, acc)
+                return acc
+
+            return fn
+
+        functions = {f"f{i}": make_fn(5) for i in range(12)}
+        results = executor.run_job(functions)
+        assert set(results) == set(functions)
+        assert all(r.value == [0, 1, 2, 3, 4] for r in results.values())
+        for fid, scheduled in kills.items():
+            assert results[fid].kills == len(scheduled)
+        # Fire-or-expire: a finished chaos run leaves no stuck kills.
+        assert plan.pending_kills() == {}
+        assert plan.kills_fired == sum(len(v) for v in kills.values())
+        # Completed functions dropped their chains.
+        assert executor.store.kv.used_bytes == 0.0
