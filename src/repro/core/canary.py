@@ -8,6 +8,7 @@ is the whole lifecycle the experiment harness drives.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from repro.checkpoint.module import CheckpointingModule
@@ -208,7 +209,11 @@ class CanaryPlatform:
             )
         self.replication = self.ctx.replication
         self.jobs: dict[str, Job] = {}
-        self._pending_jobs: list[tuple[JobRequest, Optional[object]]] = []
+        #: FIFO admission queue; deque so each drained job is O(1), not
+        #: an O(n) list shift.
+        self._pending_jobs: deque[tuple[JobRequest, Optional[object]]] = (
+            deque()
+        )
         self._job_callbacks: dict[str, object] = {}
         self._node_failures_scheduled = False
         self.controller.on_container_loss(self._dispatch_function_loss)
@@ -334,7 +339,7 @@ class CanaryPlatform:
             )
             if report.result is not ValidationResult.ADMIT:
                 return
-            self._pending_jobs.pop(0)
+            self._pending_jobs.popleft()
             self._admit(request, on_complete)
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -39,8 +40,9 @@ class FaultPlan:
     """
 
     def __init__(self, kills: Optional[dict[str, list[int]]] = None) -> None:
-        self._pending: dict[str, list[int]] = {
-            fid: sorted(states) for fid, states in (kills or {}).items()
+        self._pending: dict[str, deque[int]] = {
+            fid: deque(sorted(states))
+            for fid, states in (kills or {}).items()
         }
         self._lock = threading.Lock()
         self.kills_fired = 0
@@ -49,7 +51,7 @@ class FaultPlan:
         with self._lock:
             states = self._pending.get(function_id)
             if states and states[0] <= state_index:
-                states.pop(0)
+                states.popleft()
                 self.kills_fired += 1
                 return True
             return False

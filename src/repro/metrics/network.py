@@ -43,6 +43,43 @@ class NetworkStats:
     busiest_link: str
 
 
+@dataclass(frozen=True)
+class FabricComputeStats:
+    """How much rate-recompute work a run's fabric actually performed.
+
+    ``flows_recomputed`` counts flow-rate assignments done by the scoped
+    (per-component) water-filling passes; ``flows_full_equivalent`` is
+    what the same churn would have cost with a global recompute on every
+    event.  ``scoped_fraction`` is their ratio — 1.0 means every pass was
+    effectively global (a single contention component), small values mean
+    the incremental fabric is skipping most of the work.
+    """
+
+    waterfill_passes: int
+    flows_recomputed: int
+    flows_full_equivalent: int
+    peak_active_flows: int
+    scoped_fraction: float
+
+
+def fabric_compute_stats(
+    network: Optional["FlowNetwork"],
+) -> Optional[FabricComputeStats]:
+    """Recompute-work accounting of a finished run's fabric."""
+    if network is None:
+        return None
+    full = network.waterfill_flows_full
+    return FabricComputeStats(
+        waterfill_passes=network.waterfill_passes,
+        flows_recomputed=network.waterfill_flows,
+        flows_full_equivalent=full,
+        peak_active_flows=network.peak_active_flows,
+        scoped_fraction=(
+            network.waterfill_flows / full if full > 0 else 0.0
+        ),
+    )
+
+
 def collect_link_usage(
     network: "FlowNetwork", horizon_s: float
 ) -> tuple[LinkUsage, ...]:

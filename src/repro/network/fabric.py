@@ -19,6 +19,19 @@ the most constrained link, give each of its flows an equal share, remove
 them, and continue.  Rates are recomputed on every flow start/finish and
 the per-flow completion events are rescheduled on the sim engine.  All
 iteration is insertion-ordered, so a seed pins the whole trace.
+
+Recomputation is *incremental*: flows partition into link-connected
+contention components (two flows are connected when they share a link,
+transitively), and a flow start/finish/cancel re-runs water-filling only
+over the component touched by the changed flow.  Untouched components
+keep their cached rates and their already-scheduled finish events.  This
+is exact, not approximate — water-filling never moves capacity across a
+component boundary, so the scoped pass performs bit-for-bit the same
+float operations the global pass would perform on those flows (the
+per-link member order and the link scan order are both preserved), and
+the resulting rates are identical.  ``incremental=False`` forces the
+legacy global recompute on every churn event (used by the equivalence
+property test and the before/after scaling benchmark).
 """
 
 from __future__ import annotations
@@ -58,6 +71,7 @@ class _Flow:
         "min_duration_s",
         "finished",
         "span",
+        "seq",
     )
 
     def __init__(
@@ -85,6 +99,9 @@ class _Flow:
         self.min_duration_s = min_duration_s
         self.finished = False
         self.span: Optional[Span] = None
+        #: Activation sequence number; orders component flows exactly the
+        #: way the activation-ordered ``_active`` dict would.
+        self.seq = 0
 
 
 class FlowHandle:
@@ -125,10 +142,15 @@ class FlowNetwork:
         tiers: "TierRegistry",
         config: NetworkModelConfig,
         tracer: Optional[NullTracer] = None,
+        incremental: bool = True,
     ) -> None:
         self.sim = sim
         self.config = config
         self.tiers = tiers
+        #: Scoped (per-component) recompute; False forces the legacy
+        #: global water-filling pass on every churn event.  Rates are
+        #: identical either way — this only trades compute.
+        self.incremental = incremental
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._node_rack: dict[str, str] = {
             node.node_id: node.rack for node in cluster.nodes
@@ -164,7 +186,11 @@ class FlowNetwork:
             "svc-tx:registry", config.registry_bandwidth
         )
         self._active: dict[int, _Flow] = {}
+        #: Links that currently carry at least one active flow; lets
+        #: ``_settle`` skip the (mostly idle) full link table.
+        self._active_links: dict[Link, None] = {}
         self._flow_counter = 0
+        self._activation_seq = 0
         self._last_settle = 0.0
         # aggregate statistics
         self.flows_started = 0
@@ -172,6 +198,12 @@ class FlowNetwork:
         self.flows_cancelled = 0
         self.bytes_completed = 0.0
         self.contention_delay_s = 0.0
+        self.peak_active_flows = 0
+        # recompute accounting: how many flow-rate assignments the scoped
+        # passes actually performed vs. what global passes would have.
+        self.waterfill_passes = 0
+        self.waterfill_flows = 0
+        self.waterfill_flows_full = 0
 
     def _add_link(self, name: str, bandwidth: float) -> Link:
         link = Link(name, bandwidth)
@@ -454,10 +486,21 @@ class FlowNetwork:
             return
         flow.latency_handle = None
         self._settle()
+        self._activation_seq += 1
+        flow.seq = self._activation_seq
         self._active[flow.flow_id] = flow
+        if len(self._active) > self.peak_active_flows:
+            self.peak_active_flows = len(self._active)
         for link in flow.links:
-            link.attach()
-        self._reschedule()
+            if not link.members:
+                self._active_links[link] = None
+            link.attach(flow)
+        if self.incremental:
+            # The join may have merged components; BFS from the new flow
+            # finds exactly the merged component.
+            self._recompute_for(self._component(flow))
+        else:
+            self._recompute_all()
 
     def _finish(self, flow: _Flow) -> None:
         """Completion of a fabric-bypass (latency-only) flow."""
@@ -496,9 +539,7 @@ class FlowNetwork:
                 link.bytes_total += residual
         flow.remaining = 0.0
         flow.finished = True
-        del self._active[flow.flow_id]
-        for link in flow.links:
-            link.detach()
+        peers = self._depart(flow)
         self.flows_completed += 1
         self.bytes_completed += flow.size_bytes
         contention = max(
@@ -509,7 +550,7 @@ class FlowNetwork:
             self.tracer.finish(
                 flow.span, outcome="completed", contention_s=contention
             )
-        self._reschedule()
+        self._recompute_for(peers)
         callback = flow.on_complete
         flow.on_complete = None
         if callback is not None:
@@ -530,19 +571,55 @@ class FlowNetwork:
             flow.handle = None
         if flow.flow_id in self._active:
             self._settle()
-            del self._active[flow.flow_id]
-            for link in flow.links:
-                link.detach()
-            self._reschedule()
+            self._recompute_for(self._depart(flow))
         self.flows_cancelled += 1
 
+    def _depart(self, flow: _Flow) -> list[_Flow]:
+        """Remove *flow* from the fabric; return the flows whose rates
+        its departure can touch (its former component, in activation
+        order — the departed flow excluded)."""
+        if self.incremental and len(self._active) > 1:
+            peers = self._component(flow)
+            peers.remove(flow)
+        else:
+            peers = None
+        del self._active[flow.flow_id]
+        for link in flow.links:
+            link.detach(flow)
+            if not link.members:
+                del self._active_links[link]
+        if peers is None:
+            peers = list(self._active.values())
+        return peers
+
     def fail_endpoint(self, node_id: str) -> int:
-        """Cancel every flow touching *node_id* (node failure); count them."""
-        victims = [
-            flow
-            for flow in list(self._active.values())
-            if node_id in flow.endpoints
+        """Cancel every flow touching *node_id* (node failure); count them.
+
+        Victims are found through the node's NIC member sets (every
+        active flow with a node endpoint traverses that node's NIC), so
+        a failure costs O(node's flows) plus per-component recomputes —
+        flows in unrelated components keep their rates and their
+        scheduled finish events.
+        """
+        nic_links = [
+            link
+            for name in (f"nic-tx:{node_id}", f"nic-rx:{node_id}")
+            if (link := self._links.get(name)) is not None
         ]
+        if not nic_links:
+            # Not a node (e.g. a service endpoint name): legacy scan.
+            victims = [
+                flow
+                for flow in list(self._active.values())
+                if node_id in flow.endpoints
+            ]
+        else:
+            seen: dict[int, _Flow] = {}
+            for link in nic_links:
+                for flow in link.members.values():
+                    if node_id in flow.endpoints:
+                        seen[flow.flow_id] = flow
+            victims = sorted(seen.values(), key=lambda f: f.seq)
         for flow in victims:
             self._cancel(flow)
         return len(victims)
@@ -558,35 +635,81 @@ class FlowNetwork:
         if elapsed <= 0 or not self._active:
             return
         for flow in self._active.values():
-            if flow.rate <= 0:
+            rate = flow.rate
+            if rate <= 0:
                 continue
-            moved = flow.rate * elapsed
+            moved = rate * elapsed
             if moved > flow.remaining:
                 moved = flow.remaining
             flow.remaining -= moved
             for link in flow.links:
                 link.bytes_total += moved
-        for link in self._links.values():
-            if link.active_flows > 0:
-                link.busy_s += elapsed
+        for link in self._active_links:
+            link.busy_s += elapsed
 
-    def _fair_share(self) -> dict[int, float]:
-        """Water-filling: flow_id -> max-min fair rate (bytes/s)."""
-        members: dict[Link, list[_Flow]] = {}
-        for flow in self._active.values():
-            for link in flow.links:
-                members.setdefault(link, []).append(flow)
-        remaining_cap = {link: link.bandwidth for link in members}
-        counts = {link: len(flows) for link, flows in members.items()}
-        unassigned = dict.fromkeys(self._active)
+    def _component(self, flow: _Flow) -> list[_Flow]:
+        """*flow*'s contention component, in activation order.
+
+        BFS over the live per-link member sets: a flow belongs to the
+        component when it shares a link (transitively) with *flow*.  Costs
+        O(component), independent of the total active-flow count.
+        """
+        total = len(self._active)
+        for link in flow.links:
+            if len(link.members) == total:
+                # A hub link (e.g. the core) carries every active flow:
+                # the whole fabric is one component, no BFS needed.
+                return list(self._active.values())
+        found = {flow.flow_id: flow}
+        stack = [flow]
+        seen_links: set[Link] = set()
+        while stack and len(found) < total:
+            for link in stack.pop().links:
+                if link in seen_links:
+                    continue
+                seen_links.add(link)
+                if len(link.members) == 1:
+                    continue
+                for other in link.members.values():
+                    if other.flow_id not in found:
+                        found[other.flow_id] = other
+                        stack.append(other)
+        if len(found) == total:
+            # Single giant component (e.g. everything couples through the
+            # core): the activation-ordered active dict *is* the order.
+            return list(self._active.values())
+        if len(found) == 1:
+            return [flow]
+        return sorted(found.values(), key=lambda f: f.seq)
+
+    def _waterfill(
+        self, flows: list[_Flow], links: list[Link]
+    ) -> dict[int, float]:
+        """Water-filling over *flows*/*links*: flow_id -> max-min rate.
+
+        *flows* must be in activation order and *links* in
+        first-encounter order over those flows — exactly the orders a
+        global pass over the activation-ordered ``_active`` dict would
+        visit, which makes a scoped pass bit-identical to the global one
+        (capacity never moves across a component boundary).  Per-link
+        flow order comes from the maintained ``Link.members`` dicts, so
+        no members/counts scratch dicts are rebuilt per call.
+        """
+        for link in links:
+            link.wf_cap = link.bandwidth
+            link.wf_count = len(link.members)
+        unassigned = dict.fromkeys(flow.flow_id for flow in flows)
         rates: dict[int, float] = {}
+        self.waterfill_passes += 1
+        self.waterfill_flows += len(flows)
+        self.waterfill_flows_full += len(self._active)
         while unassigned:
             bottleneck: Optional[Link] = None
             share = math.inf
-            for link, cap in remaining_cap.items():
-                if counts[link] <= 0:
+            for link in links:
+                if link.wf_count <= 0:
                     continue
-                candidate = max(cap, 0.0) / counts[link]
+                candidate = max(link.wf_cap, 0.0) / link.wf_count
                 if candidate < share:
                     share = candidate
                     bottleneck = link
@@ -594,31 +717,46 @@ class FlowNetwork:
                 for flow_id in unassigned:
                     rates[flow_id] = math.inf
                 break
-            for flow in members[bottleneck]:
+            for flow in bottleneck.members.values():
                 if flow.flow_id not in unassigned:
                     continue
                 rates[flow.flow_id] = share
                 del unassigned[flow.flow_id]
                 for link in flow.links:
-                    remaining_cap[link] -= share
-                    counts[link] -= 1
-            remaining_cap[bottleneck] = 0.0
+                    link.wf_cap -= share
+                    link.wf_count -= 1
+            bottleneck.wf_cap = 0.0
         return rates
 
-    def _reschedule(self) -> None:
-        """Re-apply fair-share rates; move finish events that improved.
+    @staticmethod
+    def _ordered_links(flows: list[_Flow]) -> list[Link]:
+        """The links of *flows*, deduplicated in first-encounter order."""
+        seen: dict[Link, None] = {}
+        for flow in flows:
+            for link in flow.links:
+                seen[link] = None
+        return list(seen)
+
+    def _recompute_all(self) -> None:
+        """Legacy global pass: water-fill every active flow."""
+        self._recompute_for(list(self._active.values()))
+
+    def _recompute_for(self, flows: list[_Flow]) -> None:
+        """Re-apply fair-share rates to *flows*; move events that improved.
 
         A flow whose completion moved *later* keeps its event — it will
         fire early, observe a positive residual, and re-arm.  A flow whose
         completion improved by more than the configured tolerance gets its
-        event replaced now.  Both paths are deterministic.
+        event replaced now.  Both paths are deterministic.  Flows outside
+        *flows* (other contention components) are untouched: cached rates,
+        scheduled finish events and all.
         """
-        if not self._active:
+        if not flows:
             return
-        rates = self._fair_share()
+        rates = self._waterfill(flows, self._ordered_links(flows))
         now = self.sim.now
         tolerance = self.config.reschedule_tolerance
-        for flow in self._active.values():
+        for flow in flows:
             rate = rates[flow.flow_id]
             flow.rate = rate
             if rate <= 0:  # pragma: no cover - defensive

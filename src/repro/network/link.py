@@ -2,23 +2,36 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import _Flow
+
 
 class Link:
     """One direction of one physical link (NIC, uplink, core, service).
 
     Capacity is shared max-min fairly between the flows traversing the
-    link; the fabric owns the allocation — the link only tracks who is on
-    it and what has moved through it.
+    link; the fabric owns the allocation — the link tracks *which* flows
+    are on it (``members``, in activation order, so scoped water-filling
+    sees exactly the per-link flow order a global recompute would build)
+    and what has moved through it.
+
+    ``wf_cap`` / ``wf_count`` are water-filling scratch slots: the fabric
+    resets them at the start of each fair-share pass over the links it is
+    recomputing, so no per-call ``members``/``counts`` dicts are built.
     """
 
     __slots__ = (
         "name",
         "bandwidth",
-        "active_flows",
+        "members",
         "bytes_total",
         "flows_total",
         "peak_concurrent",
         "busy_s",
+        "wf_cap",
+        "wf_count",
     )
 
     def __init__(self, name: str, bandwidth: float) -> None:
@@ -26,25 +39,32 @@ class Link:
             raise ValueError(f"link {name!r} bandwidth must be positive")
         self.name = name
         self.bandwidth = bandwidth
-        self.active_flows = 0
+        #: Active flows on this link, flow_id -> flow, in activation order.
+        self.members: dict[int, "_Flow"] = {}
+        # water-filling scratch (owned by FlowNetwork._waterfill)
+        self.wf_cap = 0.0
+        self.wf_count = 0
         # usage statistics
         self.bytes_total = 0.0
         self.flows_total = 0
         self.peak_concurrent = 0
         self.busy_s = 0.0
 
-    def attach(self) -> None:
-        self.active_flows += 1
-        self.flows_total += 1
-        if self.active_flows > self.peak_concurrent:
-            self.peak_concurrent = self.active_flows
+    @property
+    def active_flows(self) -> int:
+        return len(self.members)
 
-    def detach(self) -> None:
-        if self.active_flows > 0:
-            self.active_flows -= 1
+    def attach(self, flow: "_Flow") -> None:
+        self.members[flow.flow_id] = flow
+        self.flows_total += 1
+        if len(self.members) > self.peak_concurrent:
+            self.peak_concurrent = len(self.members)
+
+    def detach(self, flow: "_Flow") -> None:
+        self.members.pop(flow.flow_id, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Link({self.name}, {self.bandwidth:.3g}B/s, "
-            f"active={self.active_flows})"
+            f"active={len(self.members)})"
         )

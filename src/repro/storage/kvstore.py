@@ -17,6 +17,7 @@ never materializes 98 MB of ResNet weights).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -64,6 +65,11 @@ class KeyValueStore:
         self.replicated = replicated
         self.persistent = persistent
         self._entries: dict[str, KVEntry] = {}
+        #: ``(version, key)`` pairs kept sorted at insert time.  Versions
+        #: strictly increase, so a put appends; overwrites and deletes
+        #: drop the stale pair by bisection.  Prefix queries walk this
+        #: index in order instead of sorting per lookup.
+        self._versions: list[tuple[int, str]] = []
         self._used = 0.0
         self._version_counter = 0
         self.puts = 0
@@ -133,9 +139,23 @@ class KeyValueStore:
             home_node=home_node,
         )
         self._entries[key] = entry
+        if previous is not None:
+            self._drop_version(previous)
+        self._versions.append((entry.version, key))
         self._used += delta
         self.puts += 1
         return entry
+
+    def _drop_version(self, entry: KVEntry) -> None:
+        """Remove *entry*'s pair from the sorted version index."""
+        index = bisect.bisect_left(
+            self._versions, (entry.version, entry.key)
+        )
+        if (
+            index < len(self._versions)
+            and self._versions[index] == (entry.version, entry.key)
+        ):
+            del self._versions[index]
 
     def get(self, key: str) -> Optional[KVEntry]:
         self.gets += 1
@@ -145,6 +165,7 @@ class KeyValueStore:
         entry = self._entries.pop(key, None)
         if entry is None:
             return False
+        self._drop_version(entry)
         self._used -= entry.size_bytes
         # An empty store reads exactly zero (clamps float residue).
         if not self._entries or self._used < 0.0:
@@ -154,14 +175,16 @@ class KeyValueStore:
 
     def keys_with_prefix(self, prefix: str) -> list[str]:
         """All keys starting with *prefix*, sorted by version (oldest first)."""
-        matches = [e for k, e in self._entries.items() if k.startswith(prefix)]
-        matches.sort(key=lambda e: e.version)
-        return [e.key for e in matches]
+        return [
+            key for _, key in self._versions if key.startswith(prefix)
+        ]
 
     def entries_with_prefix(self, prefix: str) -> list[KVEntry]:
-        matches = [e for k, e in self._entries.items() if k.startswith(prefix)]
-        matches.sort(key=lambda e: e.version)
-        return matches
+        return [
+            self._entries[key]
+            for _, key in self._versions
+            if key.startswith(prefix)
+        ]
 
     # ------------------------------------------------------------------
     # Failure semantics
@@ -186,4 +209,5 @@ class KeyValueStore:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._versions.clear()
         self._used = 0.0

@@ -98,7 +98,7 @@ class TestRandomFaultPlan:
             self.STATES, error_rate=1.0, seed=3, max_kills_per_function=3
         )
         for fid, states in plan._pending.items():
-            assert states == sorted(states)
+            assert list(states) == sorted(states)
             assert all(0 <= s < self.STATES[fid] for s in states)
             assert len(set(states)) == len(states)
 

@@ -190,6 +190,41 @@ class TestKeyValueStore:
         with pytest.raises(ValueError):
             KeyValueStore().put("k", None, size_bytes=-1)
 
+    def test_version_index_matches_sort_oracle_under_churn(self):
+        """The sorted-at-insert version index must return exactly what a
+        per-lookup sort over the live entries would, through interleaved
+        puts, overwrites, deletes, and clears."""
+        import random
+
+        rng = random.Random(0x5EED)
+        kv = KeyValueStore()
+
+        def oracle(prefix):
+            live = [
+                e for k, e in kv._entries.items() if k.startswith(prefix)
+            ]
+            live.sort(key=lambda e: e.version)
+            return [e.key for e in live]
+
+        keys = [f"ckpt/f{i % 7}/{i % 5}" for i in range(35)]
+        for step in range(400):
+            op = rng.random()
+            key = rng.choice(keys)
+            if op < 0.6:
+                kv.put(key, None, size_bytes=rng.uniform(1, 100))
+            elif op < 0.85:
+                kv.delete(key)
+            elif op < 0.95 and step % 50 == 7:
+                kv.clear()
+            for prefix in ("ckpt/f1/", "ckpt/f3", "ckpt/", "nope/"):
+                assert kv.keys_with_prefix(prefix) == oracle(prefix)
+                assert [
+                    e.key for e in kv.entries_with_prefix(prefix)
+                ] == oracle(prefix)
+        # The index carries exactly the live entries, still sorted.
+        assert len(kv._versions) == len(kv._entries)
+        assert kv._versions == sorted(kv._versions)
+
 
 class TestCheckpointStorageRouter:
     def make(self, **kwargs):
