@@ -338,13 +338,22 @@ class CheckpointingModule:
     # ------------------------------------------------------------------
     # Restore path
     # ------------------------------------------------------------------
-    def latest(self, function_id: str) -> Optional[CheckpointRecord]:
-        """Newest checkpoint whose payload is still fetchable."""
+    def latest(
+        self, function_id: str, *, healthy_only: bool = False
+    ) -> Optional[CheckpointRecord]:
+        """Newest checkpoint whose payload is still fetchable.
+
+        With ``healthy_only`` records on a refusing (browned-out) tier are
+        skipped — the graceful-degradation path after a restore has
+        exhausted its backoff budget against the preferred copy.
+        """
         chain = self._per_function.get(function_id)
         if not chain:
             return None
         for offset, record in enumerate(reversed(chain)):
             if record.checkpoint_id in self._lost:
+                continue
+            if healthy_only and self.tier_refusing(record.ref.tier_name):
                 continue
             if self.router.is_available(record.ref):
                 self.restores_served += 1
@@ -352,6 +361,10 @@ class CheckpointingModule:
                     self.restores_fallback += 1
                 return record
         return None
+
+    def tier_refusing(self, tier_name: str) -> bool:
+        """True while *tier_name* is browned out and refusing I/O."""
+        return self.router.tiers.is_refusing(tier_name)
 
     def restore_time(self, record: CheckpointRecord) -> float:
         """Seconds to fetch the checkpoint payload (part of ``t_res``)."""

@@ -98,6 +98,14 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    chaos = detection = backoff = None
+    if getattr(args, "chaos", False):
+        from repro.detection import BackoffPolicy, DetectionConfig
+        from repro.faults.chaos import default_chaos_preset
+
+        chaos = default_chaos_preset()
+        detection = DetectionConfig()
+        backoff = BackoffPolicy()
     return ScenarioConfig(
         workload=args.workload,
         strategy=args.strategy,
@@ -109,6 +117,9 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         checkpoint_interval=args.checkpoint_interval,
         node_failure_count=args.node_failures,
         network=NETWORK_PRESETS[args.network],
+        chaos=chaos,
+        detection=detection,
+        backoff=backoff,
     )
 
 
@@ -135,6 +146,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{summary.network_bytes / 2**30:.2f}GiB moved, "
               f"{summary.network_contention_s:.2f}s contention delay, "
               f"peak link util {summary.network_peak_utilization:.1%}")
+    if args.chaos:
+        print(f"chaos             : {summary.detections} detections "
+              f"({summary.detection_latency_mean_s:.2f}s mean latency), "
+              f"{summary.false_suspicions} false suspicions, "
+              f"{summary.degraded_s:.2f}s degraded")
     print(f"cost              : ${summary.cost_total:.4f} "
           f"(functions ${summary.cost_function:.4f}, "
           f"replicas ${summary.cost_replica:.4f}, "
@@ -232,6 +248,10 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--network", default="off",
                         choices=sorted(NETWORK_PRESETS),
                         help="fabric model preset (off = legacy uncontended)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="enable the gray-failure preset (stragglers, "
+                        "a zombie, a partition, a KV brownout) plus "
+                        "heartbeat detection and retry backoff")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -101,9 +101,20 @@ class Cluster:
             listener(node, lost)
         return lost
 
-    def pick_failure_victim(self, rng: np.random.Generator) -> Optional[Node]:
-        """Sample an alive node weighted by its profile's failure weight."""
-        alive = self.alive_nodes()
+    def pick_failure_victim(
+        self,
+        rng: np.random.Generator,
+        exclude: frozenset[str] = frozenset(),
+    ) -> Optional[Node]:
+        """Sample an alive node weighted by its profile's failure weight.
+
+        ``exclude`` removes already-doomed nodes from the draw, so a batch
+        of scheduled failures targets distinct victims and their precursor
+        signals stay attached to nodes that actually die.
+        """
+        alive = [
+            n for n in self.nodes if n.alive and n.node_id not in exclude
+        ]
         if not alive:
             return None
         weights = np.array([n.profile.failure_weight for n in alive], dtype=float)

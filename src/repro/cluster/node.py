@@ -27,8 +27,14 @@ class Node:
         self.rack = rack
         self.alive = True
         #: cordoned nodes accept no new containers (proactive mitigation
-        #: drains suspect hardware before a predicted failure)
+        #: drains suspect hardware before a predicted failure; the
+        #: heartbeat detector also cordons suspected nodes)
         self.cordoned = False
+        #: gray-failure state (chaos layer): a zombie node accepts
+        #: placements but never completes them; ``chaos_speed_factor``
+        #: multiplies the effective speed during a straggler window.
+        self.zombie = False
+        self.chaos_speed_factor = 1.0
         self.containers: dict[str, "Container"] = {}
         self.memory_used = 0.0
         self.cold_starts_in_flight = 0
@@ -90,7 +96,11 @@ class Node:
     # Timing helpers
     # ------------------------------------------------------------------
     def scale_duration(self, seconds: float) -> float:
-        """Scale a baseline duration by this node's speed factor."""
+        """Scale a baseline duration by this node's effective speed."""
+        if self.chaos_speed_factor != 1.0:
+            return seconds / (
+                self.profile.speed_factor * self.chaos_speed_factor
+            )
         return seconds / self.profile.speed_factor
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -33,10 +33,11 @@ from repro.cost.pricing import (
     PricingModel,
     compute_cost,
 )
-from repro.faas.container import ContainerPurpose
+from repro.detection import BackoffPolicy, DetectionConfig, DetectionModule
 from repro.faas.controller import FaaSController
 from repro.faas.limits import PlatformLimits
 from repro.faas.runtimes import RuntimeRegistry
+from repro.faults.chaos import ChaosConfig, ChaosInjector
 from repro.faults.injector import FailureInjector
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.network import collect_network_stats
@@ -70,6 +71,12 @@ class CanaryPlatform:
         config: Platform constants.
         limits: Account/platform quotas.
         pricing: Billing model for cost summaries.
+        chaos: Gray-failure chaos archetypes (stragglers, zombies,
+            partitions, brownouts).  None (default) injects nothing.
+        detection: Heartbeat/phi-accrual failure detection config.  None
+            (default) keeps the constant-delay detection oracle.
+        backoff: Retry/backoff policy for placement and restore reads
+            against degraded endpoints.  None disables backoff.
     """
 
     def __init__(
@@ -96,6 +103,9 @@ class CanaryPlatform:
         reuse_containers: bool = False,
         heterogeneity_profiles: Optional[tuple] = None,
         network: Optional[NetworkModelConfig] = None,
+        chaos: Optional[ChaosConfig] = None,
+        detection: Optional[DetectionConfig] = None,
+        backoff: Optional[BackoffPolicy] = None,
         tracer: Optional[NullTracer] = None,
     ) -> None:
         self.seed = seed
@@ -148,8 +158,22 @@ class CanaryPlatform:
             start_rate_limit=start_rate_limit,
             reuse_containers=reuse_containers,
             network=self.network,
+            backoff=backoff,
             tracer=self.tracer,
         )
+        # Emergent failure detection (heartbeats feeding a phi-accrual
+        # suspicion detector).  None keeps the constant-delay oracle used
+        # by ``RecoveryStrategy.after_detection``.
+        self.backoff = backoff
+        self.detection: Optional[DetectionModule] = None
+        if detection is not None:
+            self.detection = DetectionModule(
+                self.sim,
+                self.cluster,
+                detection,
+                tracer=self.tracer,
+                on_reinstate=lambda node: self.controller.kick(),
+            )
         self.router = CheckpointStorageRouter(
             self.kv,
             self.tiers,
@@ -193,6 +217,26 @@ class CanaryPlatform:
             network=self.network,
             tracer=self.tracer,
         )
+        self.ctx.detection = self.detection
+        self.ctx.backoff = backoff
+        # Chaos archetypes (stragglers / zombies / partitions / brownouts);
+        # created only when at least one archetype is enabled so disabled
+        # runs stay byte-identical to the pre-chaos platform.
+        self.chaos: Optional[ChaosInjector] = None
+        if chaos is not None and chaos.enabled:
+            self.chaos = ChaosInjector(
+                self.sim,
+                self.cluster,
+                config=chaos,
+                ctx=self.ctx,
+                tiers=self.tiers,
+                network=self.network,
+                controller=self.controller,
+                tracer=self.tracer,
+            )
+            self.ctx.chaos = self.chaos
+            if self.detection is not None:
+                self.detection.chaos = self.chaos
         self.strategy = make_strategy(strategy, self.ctx)
         self.ctx.strategy = self.strategy
         if self.strategy.replication_enabled:
@@ -346,8 +390,10 @@ class CanaryPlatform:
     # Loss dispatch
     # ------------------------------------------------------------------
     def _dispatch_function_loss(self, container, reason: str) -> None:
-        if container.purpose != ContainerPurpose.FUNCTION:
-            return
+        # Dispatch by ownership, not container purpose: an adopted replica
+        # keeps ContainerPurpose.REPLICA but is owned by an execution, and
+        # its loss needs recovery just like a launched function container.
+        # Unclaimed replicas are not in container_owners and fall through.
         execution = self.ctx.container_owners.get(container.container_id)
         if execution is not None:
             execution.handle_container_loss(container, reason)
@@ -365,12 +411,22 @@ class CanaryPlatform:
                 self.cluster, controller=self.controller
             )
             self._node_failures_scheduled = True
+        if self.chaos is not None:
+            self.chaos.schedule()
+        if self.detection is not None:
+            self.detection.ensure_running(self._has_pending_work)
         stopped_at = self.sim.run(until=until)
         if self.sim.pending == 0:
             # Run fully drained: bound any spans that never closed (e.g.
             # unrecovered failures) so exports see finite intervals.
             self.tracer.close_open(stopped_at, reason="end-of-run")
         return stopped_at
+
+    def _has_pending_work(self) -> bool:
+        """Heartbeat keep-alive: beats stop once every job is done."""
+        if self._pending_jobs:
+            return True
+        return any(not job.done for job in self.jobs.values())
 
     # ------------------------------------------------------------------
     # Results
@@ -399,6 +455,12 @@ class CanaryPlatform:
         cost = compute_cost(
             self.controller.all_containers(), self.sim.now, self.pricing
         )
+        det = self.detection.stats() if self.detection is not None else None
+        degraded_s = self.metrics.backoff_wait_s
+        if self.chaos is not None:
+            degraded_s += self.chaos.degraded_seconds()
+        if det is not None:
+            degraded_s += det.cordoned_s
         return summarize(
             strategy=self.strategy.name.value,
             workload=workload,
@@ -416,4 +478,6 @@ class CanaryPlatform:
             ),
             seed=self.seed,
             network=collect_network_stats(self.network, self.sim.now),
+            detection=det,
+            degraded_s=degraded_s,
         )

@@ -24,6 +24,9 @@ from repro.trace.tracer import NULL_TRACER, NullTracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.execution import FunctionExecution
+    from repro.detection.backoff import BackoffPolicy
+    from repro.detection.monitor import DetectionModule
+    from repro.faults.chaos import ChaosInjector
     from repro.network.fabric import FlowNetwork
     from repro.replication.module import ReplicationModule
     from repro.strategies.base import RecoveryStrategy
@@ -50,6 +53,13 @@ class PlatformContext:
     tracer: NullTracer = NULL_TRACER
     replication: Optional["ReplicationModule"] = None
     strategy: Optional["RecoveryStrategy"] = None
+    #: Heartbeat failure detector; None keeps the constant-delay oracle.
+    detection: Optional["DetectionModule"] = None
+    #: Gray-failure injector; None disables every chaos archetype.
+    chaos: Optional["ChaosInjector"] = None
+    #: Retry policy for restores/placement against degraded endpoints;
+    #: None means fail fast exactly as before.
+    backoff: Optional["BackoffPolicy"] = None
     #: container_id -> owning execution, for dispatching loss events of
     #: function-purpose containers (replicas are handled by the Replication
     #: Module, standbys by the active-standby strategy).

@@ -301,31 +301,106 @@ class FunctionExecution:
                 bytes=restore_record.ref.size_bytes,
                 from_state=from_state,
             )
-            if ctx.network is not None:
-                # The checkpoint fetch (part of t_res, Eq. 2) is a flow on
-                # the fabric: it competes with every other transfer, which
-                # is what makes mass recovery contend (fig. 11 at scale).
-                attempt.state_handle = ctx.network.fetch_checkpoint(
-                    restore_record.ref,
-                    dest_node=container.node.node_id,
-                    on_complete=lambda: self._begin_states(attempt),
-                    extra_latency_s=delay,
-                    label=f"restore:{attempt.attempt_id}",
-                )
-                return attempt
-            delay += ctx.checkpointer.restore_time(restore_record)
-        elif from_state == 0:
+            self._begin_restore(attempt, restore_record, delay)
+            return attempt
+        if from_state == 0:
             delay += container.node.scale_duration(self.profile.input_fetch_s)
+        self._schedule_setup(attempt, delay)
+        return attempt
 
+    def _schedule_setup(self, attempt: Attempt, delay: float) -> None:
         if delay > 0:
-            attempt.state_handle = ctx.sim.call_in(
+            attempt.state_handle = self.ctx.sim.call_in(
                 delay,
                 lambda: self._begin_states(attempt),
                 label=f"setup:{attempt.attempt_id}",
             )
         else:
             self._begin_states(attempt)
-        return attempt
+
+    def _begin_restore(
+        self,
+        attempt: Attempt,
+        record: CheckpointRecord,
+        extra_delay: float,
+        retries: int = 0,
+    ) -> None:
+        """Fetch *record* for the attempt, backing off while its tier is
+        browned out.
+
+        Without a backoff policy this reproduces the legacy restore path
+        exactly.  With one, a refusing tier is retried with jittered
+        exponential backoff; once the budget is exhausted the restore
+        degrades gracefully — first to the newest checkpoint on a healthy
+        tier, then to a from-scratch restart.
+        """
+        ctx = self.ctx
+        if attempt.done or self.completed:
+            return
+        policy = ctx.backoff
+        if policy is not None and ctx.checkpointer.tier_refusing(
+            record.ref.tier_name
+        ):
+            if retries < policy.max_attempts:
+                u = float(ctx.sim.rng.stream("chaos:backoff").uniform())
+                wait = policy.delay(retries, u)
+                ctx.metrics.note_backoff(wait)
+                ctx.tracer.instant(
+                    "backoff",
+                    f"backoff:restore:{attempt.attempt_id}",
+                    duration=wait,
+                    function=self.function_id,
+                    tier=record.ref.tier_name,
+                    retry=retries,
+                )
+                attempt.state_handle = ctx.sim.call_in(
+                    wait,
+                    lambda: self._begin_restore(
+                        attempt, record, extra_delay, retries + 1
+                    ),
+                    label=f"backoff:{attempt.attempt_id}",
+                )
+                return
+            ctx.metrics.restore_fallbacks += 1
+            fallback = ctx.checkpointer.latest(
+                self.function_id, healthy_only=True
+            )
+            if fallback is None:
+                # No healthy copy anywhere: restart from scratch rather
+                # than wait out the brownout.
+                if attempt.restore_span is not None:
+                    ctx.tracer.finish(
+                        attempt.restore_span, outcome="abandoned"
+                    )
+                    attempt.restore_span = None
+                attempt.from_state = 0
+                attempt.completed_states = 0
+                self._schedule_setup(
+                    attempt,
+                    extra_delay
+                    + attempt.container.node.scale_duration(
+                        self.profile.input_fetch_s
+                    ),
+                )
+                return
+            record = fallback
+            attempt.from_state = record.state_index + 1
+            attempt.completed_states = attempt.from_state
+        if ctx.network is not None:
+            # The checkpoint fetch (part of t_res, Eq. 2) is a flow on
+            # the fabric: it competes with every other transfer, which
+            # is what makes mass recovery contend (fig. 11 at scale).
+            attempt.state_handle = ctx.network.fetch_checkpoint(
+                record.ref,
+                dest_node=attempt.container.node.node_id,
+                on_complete=lambda: self._begin_states(attempt),
+                extra_latency_s=extra_delay,
+                label=f"restore:{attempt.attempt_id}",
+            )
+            return
+        self._schedule_setup(
+            attempt, extra_delay + ctx.checkpointer.restore_time(record)
+        )
 
     def _arm_timeout(self, attempt: Attempt) -> None:
         """Enforce the per-invocation execution time limit (§II-A).
@@ -413,6 +488,11 @@ class FunctionExecution:
 
     def _schedule_next_state(self, attempt: Attempt) -> None:
         if attempt.done or self.completed:
+            return
+        if attempt.container.node.zombie:
+            # Zombie node: the runtime accepted the work but is wedged.
+            # No further transitions happen; the invocation timeout or the
+            # node's eventual death recovers the attempt.
             return
         index = attempt.completed_states
         if index >= self.n_states:
@@ -605,6 +685,7 @@ class FunctionExecution:
             kill_time=now,
             progress_states=self.best_progress(now),
             reason=reason,
+            node_id=container.node.node_id,
         )
         self.ctx.metrics.record_failure(event)
         self._pending_events.append(event)
@@ -637,6 +718,27 @@ class FunctionExecution:
         )
         assert self.ctx.strategy is not None
         self.ctx.strategy.on_failure(self, attempt, event)
+
+    # ------------------------------------------------------------------
+    # Gray-failure support (chaos layer)
+    # ------------------------------------------------------------------
+    def freeze_container(self, container_id: str) -> bool:
+        """Stop a live attempt's progress without killing it (zombie node).
+
+        The state/checkpoint transition timer is cancelled — the attempt
+        never reaches its next state — while the invocation timeout stays
+        armed as the recovery backstop for undetected gray failures.
+        Progress is pinned at the freeze instant so the wedged attempt does
+        not appear to keep computing.
+        """
+        attempt = self._live.get(container_id)
+        if attempt is None or attempt.done:
+            return False
+        attempt.final_progress = attempt.continuous_progress(self.ctx.sim.now)
+        if attempt.state_handle is not None:
+            attempt.state_handle.cancel()
+            attempt.state_handle = None
+        return True
 
     # ------------------------------------------------------------------
     # Proactive migration (failure prediction extension)

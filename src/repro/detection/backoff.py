@@ -1,0 +1,58 @@
+"""Exponential backoff with deterministic jitter.
+
+Used by the graceful-degradation paths: invocation placement retries while
+the queue is starved, and restore reads against a browned-out storage tier.
+``delay`` is a pure function of the attempt index and a uniform draw handed
+in by the caller (from a named RNG stream), so every backoff schedule is a
+pure function of the experiment seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff: ``min(base * factor^n, max) * (1 + j*u)``.
+
+    Args:
+        base_s: Delay before the first retry.
+        factor: Multiplier applied per attempt (>= 1).
+        max_s: Cap on the un-jittered delay.
+        max_attempts: Retries before the caller degrades (falls back to an
+            older checkpoint, restarts from scratch, gives up re-draining).
+        jitter: Jitter fraction in [0, 1]; the jittered delay lands in
+            ``[delay, delay * (1 + jitter))`` for a uniform draw ``u``.
+    """
+
+    base_s: float = 0.2
+    factor: float = 2.0
+    max_s: float = 5.0
+    max_attempts: int = 6
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ValueError("base_s must be positive")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if self.max_s < self.base_s:
+            raise ValueError("max_s must be >= base_s")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def delay(self, attempt_index: int, u: float = 0.0) -> float:
+        """Wait before retry *attempt_index* (0-based), jittered by *u*.
+
+        ``u`` must come from a named RNG stream (or be 0 for the
+        deterministic un-jittered schedule).
+        """
+        if attempt_index < 0:
+            raise ValueError("attempt_index must be non-negative")
+        if not 0.0 <= u <= 1.0:
+            raise ValueError("u must be within [0, 1]")
+        base = min(self.base_s * self.factor**attempt_index, self.max_s)
+        return base * (1.0 + self.jitter * u)

@@ -1,0 +1,403 @@
+"""Per-node heartbeats and phi-accrual-style suspicion detection.
+
+Every node's invoker daemon emits a heartbeat on the virtual clock every
+``heartbeat_interval_s`` (plus deterministic jitter).  The Core Module keeps
+a sliding window of inter-arrival gaps per node and, after each arrival,
+arms a *suspect* timer at ``mu + z * sigma`` past the arrival, where ``z``
+is the normal quantile matching the configured phi threshold — the same
+shape as the phi-accrual detector of Hayashibara et al. that Akka and
+Cassandra ship.
+
+A node whose gap crosses the threshold is *suspected*: it is cordoned for
+placement (not killed) and a confirm timer starts.  A heartbeat arriving
+while suspected is a false positive — the node is reinstated and the
+incident counted.  Silence through ``confirm_timeout_s`` *declares* the node
+failed: an alive-but-gray node (zombie, long partition) is fenced via
+``cluster.fail_node``, and any recovery callbacks waiting on the verdict
+fire after a small processing delay.
+
+Strategies route their ``after_detection`` continuations through
+:meth:`DetectionModule.notify_after_detection`, replacing the constant
+``detection_delay_s`` oracle: a container kill on a healthy node is noticed
+at the next status heartbeat; a node death is noticed when the detector
+declares it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.trace.tracer import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import Node
+    from repro.sim.engine import EventHandle, Simulator
+
+
+@dataclass(frozen=True)
+class DetectionConfig:
+    """Tuning knobs for the heartbeat detector.
+
+    Args:
+        heartbeat_interval_s: Base emission period per node.
+        heartbeat_jitter: Per-beat jitter fraction; each period is scaled by
+            ``1 + jitter * u`` with ``u`` drawn from the node's RNG stream.
+        window: Sliding-window length (inter-arrival gaps) per node.
+        phi_threshold: Suspicion level; the gap threshold sits at the
+            ``1 - 10^-phi`` quantile of the observed gap distribution.
+        min_std_s: Floor on the gap standard deviation, so a perfectly
+            regular history does not hair-trigger the detector.
+        confirm_timeout_s: Silence beyond the suspect point before the node
+            is declared failed (cordon-then-confirm split).
+        processing_delay_s: Control-plane handling delay between a verdict
+            and the recovery callback firing.
+    """
+
+    heartbeat_interval_s: float = 0.5
+    heartbeat_jitter: float = 0.1
+    window: int = 20
+    phi_threshold: float = 8.0
+    min_std_s: float = 0.02
+    confirm_timeout_s: float = 4.0
+    processing_delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if not 0.0 <= self.heartbeat_jitter <= 1.0:
+            raise ValueError("heartbeat_jitter must be within [0, 1]")
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if self.phi_threshold <= 0:
+            raise ValueError("phi_threshold must be positive")
+        if self.min_std_s <= 0:
+            raise ValueError("min_std_s must be positive")
+        if self.confirm_timeout_s <= 0:
+            raise ValueError("confirm_timeout_s must be positive")
+        if self.processing_delay_s < 0:
+            raise ValueError("processing_delay_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Counters exported into ``RunSummary`` after a run."""
+
+    heartbeats_sent: int
+    heartbeats_dropped: int
+    suspicions: int
+    false_suspicions: int
+    detections: int
+    detection_latency_mean_s: float
+    cordoned_s: float
+
+
+class DetectionModule:
+    """Heartbeat monitor replacing the fixed ``detection_delay_s`` oracle."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "Cluster",
+        config: DetectionConfig,
+        *,
+        tracer: Any = NULL_TRACER,
+        on_reinstate: Optional[Callable[["Node"], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config
+        self.tracer = tracer
+        self.on_reinstate = on_reinstate
+        #: Optional ChaosInjector; set by the platform so partitioned nodes
+        #: drop their heartbeats and zombie onsets anchor latency accounting.
+        self.chaos: Any = None
+        # Normal quantile matching the phi threshold: a gap is suspicious
+        # once its probability under the fitted gap distribution drops below
+        # 10^-phi.
+        self._z = NormalDist().inv_cdf(1.0 - 10.0 ** (-config.phi_threshold))
+        self._history: dict[str, deque[float]] = {}
+        self._last_beat: dict[str, float] = {}
+        self._beat_handles: dict[str, "EventHandle"] = {}
+        self._suspect_handles: dict[str, "EventHandle"] = {}
+        self._confirm_handles: dict[str, "EventHandle"] = {}
+        self._suspected_at: dict[str, float] = {}
+        self._suspicion_spans: dict[str, Any] = {}
+        self._we_cordoned: set[str] = set()
+        self._declared: set[str] = set()
+        self._waiters: dict[str, list[tuple[Callable[[], None], str]]] = {}
+        self._should_continue: Optional[Callable[[], bool]] = None
+        self._started = False
+        self._stopped = False
+        # Statistics.
+        self.heartbeats_sent = 0
+        self.heartbeats_dropped = 0
+        self.suspicions = 0
+        self.false_suspicions = 0
+        self.detections = 0
+        self.detection_latencies: list[float] = []
+        self.cordoned_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def ensure_running(self, should_continue: Callable[[], bool]) -> None:
+        """Start (or restart after an idle stop) the heartbeat chains.
+
+        ``should_continue`` is polled at each beat; once it goes false the
+        monitor cancels everything so an idle cluster does not tick forever.
+        """
+        self._should_continue = should_continue
+        if self._started and not self._stopped:
+            return
+        if self._stopped:
+            # Restarting after an idle gap: forget arrival times so the gap
+            # across the stop does not read as a mass failure.
+            self._last_beat.clear()
+        self._started = True
+        self._stopped = False
+        for node in self.cluster.nodes:
+            if (
+                node.alive
+                and not node.zombie
+                and node.node_id not in self._beat_handles
+            ):
+                self._schedule_beat(node)
+
+    def _stop_all(self) -> None:
+        self._stopped = True
+        for handles in (
+            self._beat_handles,
+            self._suspect_handles,
+            self._confirm_handles,
+        ):
+            for handle in handles.values():
+                handle.cancel()
+            handles.clear()
+        now = self.sim.now
+        for node_id, since in self._suspected_at.items():
+            self.cordoned_s += now - since
+            span = self._suspicion_spans.pop(node_id, None)
+            if span is not None:
+                self.tracer.finish(span, outcome="end-of-run")
+        self._suspected_at.clear()
+        self._waiters.clear()
+
+    # ------------------------------------------------------------------
+    # Heartbeat emission
+    # ------------------------------------------------------------------
+    def _period(self, node: "Node") -> float:
+        rng = self.sim.rng.stream(f"detection:hb:{node.node_id}")
+        u = float(rng.uniform())
+        period = self.config.heartbeat_interval_s * (
+            1.0 + self.config.heartbeat_jitter * u
+        )
+        # A straggling node's daemon is starved of CPU along with everything
+        # else, so its beats stretch — that stretch *is* the gray-failure
+        # signal the detector picks up.
+        if node.chaos_speed_factor != 1.0:
+            period /= node.chaos_speed_factor
+        return period
+
+    def _schedule_beat(self, node: "Node") -> None:
+        self._beat_handles[node.node_id] = self.sim.call_in(
+            self._period(node),
+            lambda: self._beat(node),
+            label=f"hb:{node.node_id}",
+        )
+
+    def _beat(self, node: "Node") -> None:
+        self._beat_handles.pop(node.node_id, None)
+        if self._stopped:
+            return
+        if self._should_continue is not None and not self._should_continue():
+            self._stop_all()
+            return
+        if not node.alive or node.zombie:
+            # The daemon died with the node (or is wedged): silence from
+            # here on — the detector notices via the armed suspect timer.
+            return
+        self.heartbeats_sent += 1
+        if self.chaos is not None and self.chaos.heartbeat_blocked(
+            node.node_id
+        ):
+            self.heartbeats_dropped += 1
+        else:
+            self._on_arrival(node)
+        self._schedule_beat(node)
+
+    def _on_arrival(self, node: "Node") -> None:
+        now = self.sim.now
+        node_id = node.node_id
+        last = self._last_beat.get(node_id)
+        if last is not None:
+            history = self._history.setdefault(
+                node_id, deque(maxlen=self.config.window)
+            )
+            history.append(now - last)
+        self._last_beat[node_id] = now
+        if node_id in self._suspected_at:
+            self._reinstate(node, now)
+        self._flush_waiters(node_id)
+        self._arm_suspect(node, now)
+
+    # ------------------------------------------------------------------
+    # Suspicion machinery
+    # ------------------------------------------------------------------
+    def suspect_after(self, node_id: str) -> float:
+        """Gap beyond which *node_id* becomes suspected (phi threshold)."""
+        history = self._history.get(node_id)
+        if not history:
+            # No gaps observed yet: assume the configured period at its
+            # mean jitter and the floor deviation.
+            mu = self.config.heartbeat_interval_s * (
+                1.0 + 0.5 * self.config.heartbeat_jitter
+            )
+            sigma = self.config.min_std_s
+        else:
+            mu = sum(history) / len(history)
+            var = sum((g - mu) ** 2 for g in history) / len(history)
+            sigma = max(math.sqrt(var), self.config.min_std_s)
+        return mu + self._z * sigma
+
+    def _arm_suspect(self, node: "Node", now: float) -> None:
+        node_id = node.node_id
+        handle = self._suspect_handles.get(node_id)
+        if handle is not None:
+            handle.cancel()
+        self._suspect_handles[node_id] = self.sim.call_at(
+            now + self.suspect_after(node_id),
+            lambda: self._suspect(node),
+            label=f"suspect:{node_id}",
+        )
+
+    def _suspect(self, node: "Node") -> None:
+        node_id = node.node_id
+        self._suspect_handles.pop(node_id, None)
+        if (
+            self._stopped
+            or node_id in self._declared
+            or node_id in self._suspected_at
+        ):
+            return
+        now = self.sim.now
+        self.suspicions += 1
+        self._suspected_at[node_id] = now
+        if node.alive and not node.cordoned:
+            # Cordon, don't kill: the node may merely be slow or cut off.
+            node.cordoned = True
+            self._we_cordoned.add(node_id)
+        self._suspicion_spans[node_id] = self.tracer.begin(
+            "suspicion", f"suspicion:{node_id}", node=node_id
+        )
+        self._confirm_handles[node_id] = self.sim.call_in(
+            self.config.confirm_timeout_s,
+            lambda: self._confirm(node),
+            label=f"confirm:{node_id}",
+        )
+
+    def _reinstate(self, node: "Node", now: float) -> None:
+        node_id = node.node_id
+        suspected_at = self._suspected_at.pop(node_id)
+        self.false_suspicions += 1
+        self.cordoned_s += now - suspected_at
+        handle = self._confirm_handles.pop(node_id, None)
+        if handle is not None:
+            handle.cancel()
+        if node_id in self._we_cordoned:
+            self._we_cordoned.discard(node_id)
+            node.cordoned = False
+        span = self._suspicion_spans.pop(node_id, None)
+        if span is not None:
+            self.tracer.finish(span, outcome="reinstated")
+        if self.on_reinstate is not None:
+            self.on_reinstate(node)
+
+    def _confirm(self, node: "Node") -> None:
+        node_id = node.node_id
+        self._confirm_handles.pop(node_id, None)
+        if self._stopped or node_id not in self._suspected_at:
+            return
+        now = self.sim.now
+        suspected_at = self._suspected_at.pop(node_id)
+        self.cordoned_s += now - suspected_at
+        self._declared.add(node_id)
+        self._we_cordoned.discard(node_id)
+        self.detections += 1
+        latency = now - self._failure_onset(node, suspected_at)
+        self.detection_latencies.append(latency)
+        span = self._suspicion_spans.pop(node_id, None)
+        if span is not None:
+            self.tracer.finish(span, outcome="confirmed", latency=latency)
+        if node.alive:
+            # Fence the gray node: from the platform's perspective it is
+            # now dead, so strategies recover its work elsewhere.
+            self.cluster.fail_node(node_id, now)
+        self._flush_waiters(node_id)
+
+    def _failure_onset(self, node: "Node", suspected_at: float) -> float:
+        """Best-known onset time of the failure being confirmed."""
+        if node.failed_at is not None:
+            return node.failed_at
+        if self.chaos is not None:
+            onset = self.chaos.gray_onset.get(node.node_id)
+            if onset is not None:
+                return onset
+        last = self._last_beat.get(node.node_id)
+        return last if last is not None else suspected_at
+
+    # ------------------------------------------------------------------
+    # Recovery-callback routing (replaces the constant-delay oracle)
+    # ------------------------------------------------------------------
+    def notify_after_detection(
+        self, node_id: str, callback: Callable[[], None], label: str = ""
+    ) -> None:
+        """Fire *callback* once the detector has a verdict on *node_id*.
+
+        A loss on an already-declared node fires after the processing
+        delay; otherwise the callback waits for the next heartbeat from
+        the node (status report carrying the container's death) or for the
+        node's own declaration — whichever the detector reaches first.
+        """
+        label = label or f"detect-notify:{node_id}"
+        if self._stopped or node_id in self._declared:
+            self.sim.call_in(
+                self.config.processing_delay_s, callback, label=label
+            )
+            return
+        self._waiters.setdefault(node_id, []).append((callback, label))
+
+    def _flush_waiters(self, node_id: str) -> None:
+        waiters = self._waiters.pop(node_id, None)
+        if not waiters:
+            return
+        for callback, label in waiters:
+            self.sim.call_in(
+                self.config.processing_delay_s, callback, label=label
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_suspected(self, node_id: str) -> bool:
+        return node_id in self._suspected_at
+
+    def is_declared(self, node_id: str) -> bool:
+        return node_id in self._declared
+
+    def stats(self) -> DetectionStats:
+        latencies = self.detection_latencies
+        mean = sum(latencies) / len(latencies) if latencies else 0.0
+        return DetectionStats(
+            heartbeats_sent=self.heartbeats_sent,
+            heartbeats_dropped=self.heartbeats_dropped,
+            suspicions=self.suspicions,
+            false_suspicions=self.false_suspicions,
+            detections=self.detections,
+            detection_latency_mean_s=mean,
+            cordoned_s=self.cordoned_s,
+        )

@@ -8,6 +8,8 @@ from typing import Optional
 from repro.checkpoint.policy import CheckpointPolicy
 from repro.common.types import RecoveryStrategyName, ReplicationStrategyName
 from repro.core.config import PlatformConfig
+from repro.detection import BackoffPolicy, DetectionConfig
+from repro.faults.chaos import ChaosConfig
 from repro.network.config import NetworkModelConfig
 
 #: Error-rate sweep used throughout §V ("vary the error rate from 1% to 50%").
@@ -44,6 +46,14 @@ class ScenarioConfig:
     #: Flow-level fabric model; None keeps the legacy uncontended charges
     #: (byte-identical to pre-network results).
     network: Optional[NetworkModelConfig] = None
+    #: Gray-failure chaos archetypes; None (default) injects nothing and
+    #: keeps runs byte-identical to the pre-chaos platform.
+    chaos: Optional[ChaosConfig] = None
+    #: Heartbeat/phi-accrual detection; None keeps the constant-delay
+    #: detection oracle.
+    detection: Optional[DetectionConfig] = None
+    #: Placement/restore retry-backoff policy; None disables backoff.
+    backoff: Optional[BackoffPolicy] = None
 
     def __post_init__(self) -> None:
         if self.num_functions <= 0:

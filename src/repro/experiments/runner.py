@@ -51,6 +51,9 @@ def _run_platform(
         checkpoint_policy=scenario.checkpoint_policy,
         config=config,
         network=scenario.network,
+        chaos=scenario.chaos,
+        detection=scenario.detection,
+        backoff=scenario.backoff,
         tracer=tracer,
     )
     for _ in range(scenario.jobs):

@@ -27,6 +27,7 @@ from repro.sim.engine import Simulator
 from repro.trace.tracer import NULL_TRACER, NullTracer, Span
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.detection.backoff import BackoffPolicy
     from repro.network.fabric import FlowNetwork
 
 
@@ -74,12 +75,18 @@ class FaaSController:
         reuse_idle_timeout_s: float = 60.0,
         network: Optional["FlowNetwork"] = None,
         tracer: Optional[NullTracer] = None,
+        backoff: Optional["BackoffPolicy"] = None,
     ) -> None:
         """
         Args:
             network: Flow-level fabric; when set, cold-start image pulls
                 compete for registry/fabric bandwidth instead of being
                 folded into the fixed launch time.
+            backoff: Retry policy for queued placement requests; each
+                queued request re-drives the queue on a jittered
+                exponential schedule (models controller retry loops
+                against a starved or cordoned cluster).  ``None`` keeps
+                the legacy purely event-driven drain.
             start_rate_limit: Max container starts per second across the
                 platform (models the controller/scheduler bottleneck of
                 OpenWhisk-class deployments, where the shared controller —
@@ -125,9 +132,12 @@ class FaaSController:
         self.warm_starts = 0
         self._loss_listeners: list[Callable[[Container, str], None]] = []
         cluster.on_node_failure(self._handle_node_failure)
+        self.backoff = backoff
+        self._backoff_rng = None  # created lazily; default runs draw nothing
         # statistics
         self.queued_requests_total = 0
         self.queue_wait_total_s = 0.0
+        self.backoff_retries = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -197,7 +207,47 @@ class FaaSController:
             )
             self._queue.append(request)
             self.queued_requests_total += 1
+            if self.backoff is not None:
+                self._arm_place_backoff(request, 0)
         return request
+
+    def _arm_place_backoff(self, request: ContainerRequest, retries: int) -> None:
+        """Retry a queued request on the backoff schedule.
+
+        The event-driven drain (on terminations and node failures) still
+        runs; these timers add the polling retries a real controller makes
+        while the cluster is starved — e.g. every node cordoned by the
+        suspicion detector — and give chaos runs a bounded re-drive cadence.
+        """
+        assert self.backoff is not None
+        if retries >= self.backoff.max_attempts:
+            return
+        if self._backoff_rng is None:
+            self._backoff_rng = self.sim.rng.stream("chaos:place-backoff")
+        wait = self.backoff.delay(retries, float(self._backoff_rng.uniform()))
+        self.tracer.instant(
+            "backoff",
+            f"backoff:place:{request.kind.value}",
+            duration=wait,
+            purpose=request.purpose.value,
+            retry=retries,
+        )
+
+        def _retry() -> None:
+            if request.cancelled or request.container is not None:
+                return
+            if request not in self._queue:
+                return
+            self.backoff_retries += 1
+            self._drain_queue()
+            if (
+                request.container is None
+                and not request.cancelled
+                and request in self._queue
+            ):
+                self._arm_place_backoff(request, retries + 1)
+
+        self.sim.call_in(wait, _retry, label="place-backoff")
 
     def _end_queue_span(self, request: ContainerRequest, outcome: str) -> None:
         if request.queue_span is not None:
@@ -333,6 +383,14 @@ class FaaSController:
         )
         self._note_start()
         return True
+
+    def kick(self) -> None:
+        """Re-drive the queue after external capacity changes.
+
+        Called when the suspicion detector reinstates a cordoned node —
+        queued requests may now have a home again.
+        """
+        self._drain_queue()
 
     def _drain_queue(self) -> None:
         """Retry queued requests in FIFO order until one fails to place."""

@@ -21,6 +21,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.network.fabric import FlowNetwork
 
 
+class _WedgedHandle:
+    """Placeholder pending-ready handle for a wedged (zombie) launch."""
+
+    def cancel(self) -> None:
+        pass
+
+
+_WEDGED_HANDLE = _WedgedHandle()
+
+
 class Invoker:
     """Drives container lifecycles on one node.
 
@@ -51,6 +61,9 @@ class Invoker:
         self.network = network
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cold_starts_total = 0
+        #: Gray-failure mode (zombie node): the invoker accepts cold starts
+        #: but never completes them.
+        self.wedged = False
         # Handle of the step that will (eventually) make the container
         # ready: an image-pull FlowHandle or the launch+init EventHandle.
         # Both expose ``cancel()``.
@@ -89,6 +102,11 @@ class Invoker:
             runtime=container.kind.value,
             warm=warm,
         )
+        if self.wedged:
+            # Zombie node: the kubelet accepted the pod but will never get
+            # it running — it sits in LAUNCHING until the node is fenced.
+            self._pending_ready[container.container_id] = _WEDGED_HANDLE
+            return self.node.scale_duration(container.runtime.cold_start_s)
         network = self.network
         if network is not None and network.models_image_pulls:
             # Pull the image over the fabric first; the launch/init phases
@@ -169,6 +187,19 @@ class Invoker:
         if handle is not None:
             handle.cancel()
             self._cold_start_done(container, outcome="aborted")
+
+    def wedge(self) -> None:
+        """Enter zombie mode: freeze every in-flight cold start.
+
+        The pending ready events are cancelled but the launches stay
+        registered (and their spans open), so capacity accounting unwinds
+        normally when the containers are eventually aborted or the node
+        dies.
+        """
+        self.wedged = True
+        for container_id, handle in list(self._pending_ready.items()):
+            handle.cancel()
+            self._pending_ready[container_id] = _WEDGED_HANDLE
 
     def on_node_failure(self) -> None:
         """Drop all in-flight cold starts when the node dies."""

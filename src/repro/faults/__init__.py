@@ -4,8 +4,25 @@ The paper "simulate[s] failures by randomly killing containers that host
 functions based on the defined error rate" and, for the scaling study,
 injects node-level failures.  The injector reproduces both, deterministically
 per experiment seed.
+
+The chaos layer extends the fail-stop injector with *gray* failure
+archetypes — stragglers, zombies, partitions, and brownouts — that degrade
+rather than kill (off by default; see :mod:`repro.faults.chaos`).
 """
 
+from repro.faults.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    TierBrownout,
+    default_chaos_preset,
+)
 from repro.faults.injector import FailureInjector, FailurePlan
 
-__all__ = ["FailureInjector", "FailurePlan"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "FailureInjector",
+    "FailurePlan",
+    "TierBrownout",
+    "default_chaos_preset",
+]

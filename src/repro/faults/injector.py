@@ -85,6 +85,13 @@ class FailureInjector:
             raise ValueError("node_failure_precursors must be non-negative")
         if precursor_spacing_s <= 0:
             raise ValueError("precursor_spacing_s must be positive")
+        if node_failure_count > 0:
+            start, end = node_failure_window
+            if end <= start:
+                raise ValueError(
+                    "node_failure_window must be a non-empty (start, end) "
+                    "range"
+                )
         self.node_failure_count = node_failure_count
         self.node_failure_window = node_failure_window
         self.node_failure_precursors = node_failure_precursors
@@ -94,6 +101,11 @@ class FailureInjector:
         self._rng = sim.rng.stream("faults")
         self.kills_injected = 0
         self.node_kills_injected = 0
+        #: Times a node failure had to re-pick its victim because the one
+        #: drawn up front was already dead when the failure fired.
+        self.victim_repicks = 0
+        #: ``(time, node_id)`` for every node failure actually delivered.
+        self.scheduled_node_failures: list[tuple[float, str]] = []
 
     # ------------------------------------------------------------------
     # Victim assignment
@@ -177,48 +189,67 @@ class FailureInjector:
     ) -> list[float]:
         """Schedule the configured node failures; return their times.
 
-        Victims are drawn up front (weighted by hardware age) so that
-        precursor faults can target the doomed node.  When
-        ``node_failure_precursors > 0`` and a *controller* is supplied, the
-        victim emits that many container faults in the run-up to its death.
+        Victims are drawn up front (weighted by hardware age, distinct
+        across the scheduled failures) so that precursor faults can target
+        the doomed node.  When ``node_failure_precursors > 0`` and a
+        *controller* is supplied, the victim emits that many container
+        faults in the run-up to its death.  If a victim is dead by the time
+        its failure fires (e.g. a chaos hard-kill got there first), a
+        replacement is re-picked and *shared with the precursor closures*
+        so the monitoring signal keeps pointing at the node that actually
+        dies; re-picks are counted in :attr:`victim_repicks`.
         """
         if self.node_failure_count <= 0:
             return []
         start, end = self.node_failure_window
-        if end <= start:
-            raise ValueError(
-                "node_failure_window must be a non-empty (start, end) range"
-            )
         times = sorted(
             float(self._rng.uniform(start, end))
             for _ in range(self.node_failure_count)
         )
+        doomed: set[str] = set()
         for at in times:
-            victim = cluster.pick_failure_victim(self._rng)
+            victim = cluster.pick_failure_victim(
+                self._rng, exclude=frozenset(doomed)
+            )
+            if victim is None and doomed:
+                # More failures than alive nodes: allow repeat victims
+                # rather than silently dropping the failure.
+                victim = cluster.pick_failure_victim(self._rng)
             if victim is None:
                 continue
+            doomed.add(victim.node_id)
+            # One mutable cell per failure, shared between the failure
+            # event and its precursors, so a re-pick retargets both.
+            target = {"node": victim}
 
-            def _fail(at: float = at, victim=victim) -> None:
-                node = victim
+            def _fail(at: float = at, target: dict = target) -> None:
+                node = target["node"]
                 if not node.alive:
                     node = cluster.pick_failure_victim(self._rng)
-                if node is not None:
-                    self.node_kills_injected += 1
-                    cluster.fail_node(node.node_id, at)
+                    if node is None:
+                        return
+                    self.victim_repicks += 1
+                    target["node"] = node
+                self.node_kills_injected += 1
+                self.scheduled_node_failures.append((at, node.node_id))
+                cluster.fail_node(node.node_id, at)
 
             self.sim.call_at(max(at, self.sim.now), _fail, label="node-failure")
             if controller is not None and self.node_failure_precursors > 0:
-                self._schedule_precursors(controller, victim, at)
+                self._schedule_precursors(controller, target, at)
         return times
 
-    def _schedule_precursors(self, controller, victim, failure_at: float) -> None:
+    def _schedule_precursors(
+        self, controller, target: dict, failure_at: float
+    ) -> None:
         """Emit transient container faults on the doomed node before death."""
         for k in range(self.node_failure_precursors):
             at = failure_at - (k + 1) * self.precursor_spacing_s
             if at <= self.sim.now:
                 continue
 
-            def _precursor(victim=victim) -> None:
+            def _precursor(target: dict = target) -> None:
+                victim = target["node"]
                 if not victim.alive:
                     return
                 live = [

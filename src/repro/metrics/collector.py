@@ -29,6 +29,9 @@ class FailureEvent:
     resumed_from_state: Optional[int] = None
     recovered_at: Optional[float] = None  # pre-failure progress regained
     recovered_via: str = ""               # replica / cold / standby / sibling
+    #: node hosting the killed container — lets the heartbeat detector
+    #: route the recovery callback (None for legacy events)
+    node_id: Optional[str] = None
 
     @property
     def recovery_time(self) -> Optional[float]:
@@ -76,6 +79,15 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.traces: dict[str, FunctionTrace] = {}
         self.failures: list[FailureEvent] = []
+        # Graceful-degradation accounting (chaos/backoff layer); all stay
+        # zero when no backoff policy is configured.
+        self.backoff_waits = 0
+        self.backoff_wait_s = 0.0
+        self.restore_fallbacks = 0
+
+    def note_backoff(self, wait_s: float) -> None:
+        self.backoff_waits += 1
+        self.backoff_wait_s += wait_s
 
     # ------------------------------------------------------------------
     # Trace lifecycle

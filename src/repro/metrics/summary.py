@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cost.pricing import CostBreakdown
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.network import NetworkStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detection.monitor import DetectionStats
 
 
 @dataclass(frozen=True)
@@ -39,6 +42,12 @@ class RunSummary:
     network_bytes: float = 0.0
     network_contention_s: float = 0.0
     network_peak_utilization: float = 0.0
+    # Gray-failure layer (zeros when detection/chaos/backoff are disabled,
+    # so legacy summaries stay byte-identical).
+    detections: int = 0
+    detection_latency_mean_s: float = 0.0
+    false_suspicions: int = 0
+    degraded_s: float = 0.0
 
     @property
     def all_completed(self) -> bool:
@@ -59,6 +68,8 @@ def summarize(
     replicas_launched: int,
     seed: int,
     network: Optional[NetworkStats] = None,
+    detection: Optional["DetectionStats"] = None,
+    degraded_s: float = 0.0,
 ) -> RunSummary:
     """Build a :class:`RunSummary` from a finished run's collectors."""
     checkpoint_time = sum(t.checkpoint_time_s for t in metrics.traces.values())
@@ -90,4 +101,14 @@ def summarize(
         network_peak_utilization=(
             network.peak_link_utilization if network is not None else 0.0
         ),
+        detections=detection.detections if detection is not None else 0,
+        detection_latency_mean_s=(
+            detection.detection_latency_mean_s
+            if detection is not None
+            else 0.0
+        ),
+        false_suspicions=(
+            detection.false_suspicions if detection is not None else 0
+        ),
+        degraded_s=degraded_s,
     )

@@ -592,6 +592,31 @@ class FlowNetwork:
             peers = list(self._active.values())
         return peers
 
+    def set_link_capacity(self, name: str, bandwidth: float) -> float:
+        """Change link *name*'s capacity mid-run; return the previous value.
+
+        Used by the chaos layer for partitions and link brownouts.  Flows
+        on the link are re-water-filled immediately: a flow whose finish
+        moved later keeps its event (it fires early, observes a positive
+        residual, and re-arms), so a capacity *cut* needs no event surgery;
+        a restore replaces improved finish events right away.
+        """
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        try:
+            link = self._links[name]
+        except KeyError:
+            raise KeyError(f"unknown link {name!r}") from None
+        previous = link.bandwidth
+        if bandwidth == previous:
+            return previous
+        self._settle()
+        link.bandwidth = bandwidth
+        if link.members:
+            member = next(iter(link.members.values()))
+            self._recompute_for(self._component(member))
+        return previous
+
     def fail_endpoint(self, node_id: str) -> int:
         """Cancel every flow touching *node_id* (node failure); count them.
 

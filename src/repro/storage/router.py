@@ -64,6 +64,9 @@ class CheckpointStorageRouter:
         if custom_endpoint is not None:
             tiers.get(custom_endpoint)  # validate eagerly
         self._spilled: dict[str, StoredObjectRef] = {}
+        #: writes that would have landed in the KV store but spilled to the
+        #: next healthy tier because the KV store was refusing (brownout)
+        self.brownout_spills = 0
 
     # ------------------------------------------------------------------
     # Write path
@@ -72,7 +75,7 @@ class CheckpointStorageRouter:
         """Tier that a payload of *size_bytes* would land on."""
         if self.custom_endpoint is not None:
             return self.tiers.get(self.custom_endpoint)
-        if self.kv.fits(size_bytes):
+        if self.kv.fits(size_bytes) and not self.tiers.is_refusing("kv"):
             return self.tiers.get("kv")
         return self.tiers.fastest_spill_tier(
             size_bytes, require_shared=self.require_shared_spill
@@ -89,6 +92,14 @@ class CheckpointStorageRouter:
     ) -> tuple[StoredObjectRef, float]:
         """Store a checkpoint payload; return its ref and the write time."""
         tier = self.choose_tier(size_bytes)
+        if (
+            tier.name != "kv"
+            and self.custom_endpoint is None
+            and self.kv.fits(size_bytes)
+        ):
+            # Graceful degradation: the KV store would have taken this
+            # payload but is browned out, so it spilled to the next tier.
+            self.brownout_spills += 1
         if tier.name == "kv":
             self.kv.put(
                 key, payload, size_bytes=size_bytes, now=now, home_node=node_id
@@ -106,14 +117,16 @@ class CheckpointStorageRouter:
                 now=now,
                 home_node=node_id,
             )
-        return ref, tier.write_time(size_bytes)
+        return ref, self.tiers.write_seconds(tier, size_bytes)
 
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def read_time(self, ref: StoredObjectRef) -> float:
         """Seconds to fetch the payload behind *ref*."""
-        return self.tiers.get(ref.tier_name).read_time(ref.size_bytes)
+        return self.tiers.read_seconds(
+            self.tiers.get(ref.tier_name), ref.size_bytes
+        )
 
     def delete(self, ref: StoredObjectRef) -> None:
         """Drop a stored payload (checkpoint retention eviction)."""

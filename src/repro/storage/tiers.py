@@ -146,6 +146,10 @@ class TierRegistry:
         self._by_name = {t.name: t for t in tiers}
         self.used_bytes: dict[str, float] = {t.name: 0.0 for t in tiers}
         self._allocations: dict[str, int] = {t.name: 0 for t in tiers}
+        # Brownout state (gray-failure chaos layer): a tier can temporarily
+        # refuse new I/O or inflate its latency by a multiplier.
+        self._refusing: set[str] = set()
+        self._latency_multiplier: dict[str, float] = {}
 
     def get(self, name: str) -> StorageTier:
         try:
@@ -183,20 +187,79 @@ class TierRegistry:
         else:
             self.used_bytes[name] = remaining
 
+    # ------------------------------------------------------------------
+    # Brownouts (gray-failure chaos layer)
+    # ------------------------------------------------------------------
+    def set_brownout(
+        self,
+        name: str,
+        *,
+        refuse: bool = False,
+        latency_multiplier: float = 1.0,
+    ) -> None:
+        """Degrade tier *name*: refuse new I/O and/or inflate latency."""
+        self.get(name)
+        if latency_multiplier < 1.0:
+            raise ValueError("latency_multiplier must be >= 1")
+        if refuse:
+            self._refusing.add(name)
+        else:
+            self._refusing.discard(name)
+        if latency_multiplier != 1.0:
+            self._latency_multiplier[name] = latency_multiplier
+        else:
+            self._latency_multiplier.pop(name, None)
+
+    def clear_brownout(self, name: str) -> None:
+        self.get(name)
+        self._refusing.discard(name)
+        self._latency_multiplier.pop(name, None)
+
+    def is_refusing(self, name: str) -> bool:
+        return name in self._refusing
+
+    def read_seconds(self, tier: StorageTier, size_bytes: float) -> float:
+        """Tier read time with any active brownout inflation applied."""
+        base = tier.read_time(size_bytes)
+        multiplier = self._latency_multiplier.get(tier.name)
+        return base if multiplier is None else base * multiplier
+
+    def write_seconds(self, tier: StorageTier, size_bytes: float) -> float:
+        """Tier write time with any active brownout inflation applied."""
+        base = tier.write_time(size_bytes)
+        multiplier = self._latency_multiplier.get(tier.name)
+        return base if multiplier is None else base * multiplier
+
     def fastest_spill_tier(
-        self, size_bytes: float, *, require_shared: bool = False
+        self,
+        size_bytes: float,
+        *,
+        require_shared: bool = False,
+        skip_refusing: bool = True,
     ) -> StorageTier:
         """First tier after the KV store able to take *size_bytes*.
 
         Tiers are tried in declaration order (fastest first).  With
         ``require_shared`` only cluster-visible tiers qualify — used when a
         checkpoint must survive node failures (fig. 11 experiments).
+        Browned-out (refusing) tiers are skipped; if *every* candidate is
+        refusing, the search degrades to include them rather than fail —
+        a slow write beats a lost checkpoint.
         """
+        refusing = self._refusing if skip_refusing else ()
         for tier in self.tiers[1:]:
+            if tier.name in refusing:
+                continue
             if require_shared and not tier.shared:
                 continue
             if self.free_bytes(tier.name) >= size_bytes:
                 return tier
+        if refusing:
+            return self.fastest_spill_tier(
+                size_bytes,
+                require_shared=require_shared,
+                skip_refusing=False,
+            )
         raise StorageCapacityError(
             f"no spill tier can take {size_bytes:.0f}B "
             f"(require_shared={require_shared})"

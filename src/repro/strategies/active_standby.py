@@ -131,7 +131,9 @@ class ActiveStandbyStrategy(RecoveryStrategy):
                 execution.request_cold_attempt(from_state=0, via="cold")
 
         self.after_detection(
-            _activate, label=f"as-activate:{execution.function_id}"
+            _activate,
+            label=f"as-activate:{execution.function_id}",
+            node_id=event.node_id,
         )
 
     def _handle_standby_loss(self, container: Container, reason: str) -> None:

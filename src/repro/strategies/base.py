@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.types import RecoveryStrategyName
 from repro.core.context import PlatformContext
@@ -75,8 +75,20 @@ class RecoveryStrategy(ABC):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
-    def after_detection(self, callback, label: str) -> None:
-        """Run *callback* once the platform detects the failure."""
+    def after_detection(
+        self, callback, label: str, *, node_id: Optional[str] = None
+    ) -> None:
+        """Run *callback* once the platform detects the failure.
+
+        With the heartbeat detector enabled (and the failing node known),
+        detection latency is emergent: the callback fires when the node's
+        next status heartbeat arrives or when the detector declares the
+        node dead.  Otherwise the paper's constant-delay oracle applies.
+        """
+        detection = self.ctx.detection
+        if detection is not None and node_id is not None:
+            detection.notify_after_detection(node_id, callback, label=label)
+            return
         self.ctx.sim.call_in(
             self.ctx.config.detection_delay_s, callback, label=label
         )

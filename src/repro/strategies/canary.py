@@ -72,7 +72,11 @@ class CanaryStrategy(RecoveryStrategy):
             record = self._latest_checkpoint(execution)
             self._recover_onto_runtime(execution, record, failed_node)
 
-        self.after_detection(_recover, label=f"canary:{execution.function_id}")
+        self.after_detection(
+            _recover,
+            label=f"canary:{execution.function_id}",
+            node_id=event.node_id,
+        )
 
     def _latest_checkpoint(
         self, execution: "FunctionExecution"

@@ -48,7 +48,9 @@ class RequestReplicationStrategy(RecoveryStrategy):
             self._launch_complement(execution)
 
         self.after_detection(
-            _relaunch, label=f"rr-restart:{execution.function_id}"
+            _relaunch,
+            label=f"rr-restart:{execution.function_id}",
+            node_id=event.node_id,
         )
 
     def on_sibling_loss(
@@ -66,5 +68,7 @@ class RequestReplicationStrategy(RecoveryStrategy):
             execution.request_cold_attempt(secondary=True, via="cold")
 
         self.after_detection(
-            _replace, label=f"rr-replace:{execution.function_id}"
+            _replace,
+            label=f"rr-replace:{execution.function_id}",
+            node_id=event.node_id,
         )

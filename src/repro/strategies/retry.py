@@ -37,4 +37,8 @@ class RetryStrategy(RecoveryStrategy):
                 return
             execution.request_cold_attempt(from_state=0, via="cold")
 
-        self.after_detection(_relaunch, label=f"retry:{execution.function_id}")
+        self.after_detection(
+            _relaunch,
+            label=f"retry:{execution.function_id}",
+            node_id=event.node_id,
+        )

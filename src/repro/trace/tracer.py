@@ -39,6 +39,9 @@ SPAN_KINDS: tuple[str, ...] = (
     "restore",         # checkpoint fetch during recovery (part of t_res)
     "network_flow",    # one transfer on the flow-level fabric
     "recovery",        # kill → pre-failure progress regained
+    "suspicion",       # heartbeat detector suspects a node (cordon window)
+    "backoff",         # one retry wait against a degraded endpoint
+    "chaos",           # one injected gray-failure window (instant)
 )
 
 

@@ -1,0 +1,350 @@
+"""Gray-failure chaos layer: archetypes, degradation paths, determinism.
+
+Two invariants anchor everything here: chaos *disabled* is byte-identical
+to the pre-chaos platform (golden pins unchanged), and chaos *enabled* is a
+pure function of the experiment seed.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.canary import CanaryPlatform
+from repro.core.jobs import JobRequest
+from repro.detection import BackoffPolicy, DetectionConfig
+from repro.faults.chaos import (
+    ChaosConfig,
+    TierBrownout,
+    default_chaos_preset,
+)
+from repro.network.config import NETWORK_PRESETS
+from repro.storage.tiers import TierRegistry
+from repro.workloads.profiles import get_workload
+
+
+def run_platform(seed=42, n=40, strategy="canary", error_rate=0.0,
+                 interval=1, **kwargs):
+    platform = CanaryPlatform(
+        seed=seed, num_nodes=16, strategy=strategy, error_rate=error_rate,
+        **kwargs,
+    )
+    platform.submit_job(
+        JobRequest(
+            workload=get_workload("graph-bfs"),
+            num_functions=n,
+            checkpoint_interval=interval,
+        )
+    )
+    platform.run()
+    return platform
+
+
+class TestChaosConfig:
+    def test_disabled_by_default(self):
+        assert not ChaosConfig().enabled
+
+    def test_preset_is_enabled(self):
+        preset = default_chaos_preset()
+        assert preset.enabled
+        assert preset.stragglers == 2
+        assert preset.zombies == 1
+        assert preset.partitions == 1
+        assert preset.tier_brownouts[0].mode == "refuse"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(stragglers=-1)
+        with pytest.raises(ValueError):
+            ChaosConfig(stragglers=1, straggler_window=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            ChaosConfig(stragglers=1, straggler_slowdown=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(partitions=1, partition_capacity_factor=0.0)
+        with pytest.raises(ValueError):
+            TierBrownout(tier="kv", start_s=1.0, duration_s=1.0, mode="flaky")
+        with pytest.raises(ValueError):
+            TierBrownout(tier="kv", start_s=1.0, duration_s=0.0)
+
+    def test_unknown_tier_rejected_at_construction(self):
+        chaos = ChaosConfig(
+            tier_brownouts=(
+                TierBrownout(tier="floppy", start_s=1.0, duration_s=1.0),
+            )
+        )
+        with pytest.raises(Exception):
+            CanaryPlatform(seed=0, num_nodes=4, chaos=chaos)
+
+
+class TestDisabledByteIdentity:
+    def test_disabled_chaos_config_matches_baseline(self):
+        baseline = run_platform(error_rate=0.15).summary()
+        disabled = run_platform(error_rate=0.15, chaos=ChaosConfig()).summary()
+        assert disabled == baseline
+        # New RunSummary fields sit at their defaults.
+        assert baseline.detections == 0
+        assert baseline.detection_latency_mean_s == 0.0
+        assert baseline.false_suspicions == 0
+        assert baseline.degraded_s == 0.0
+
+    def test_no_injector_when_disabled(self):
+        platform = run_platform(n=1, chaos=ChaosConfig())
+        assert platform.chaos is None
+        assert platform.detection is None
+
+
+class TestEnabledDeterminism:
+    def test_same_seed_bitwise_stable(self):
+        kwargs = dict(
+            error_rate=0.15,
+            chaos=default_chaos_preset(),
+            detection=DetectionConfig(),
+            backoff=BackoffPolicy(),
+        )
+        first = run_platform(seed=3, **kwargs).summary()
+        second = run_platform(seed=3, **kwargs).summary()
+        assert first == second
+        assert first != run_platform(seed=4, **kwargs).summary()
+        assert first.completed == 40
+
+
+class TestStragglers:
+    def test_scale_duration_composes_speed_factors(self):
+        cluster = Cluster(2)
+        node = cluster.nodes[0]
+        base = node.scale_duration(10.0)
+        node.chaos_speed_factor = 0.25
+        assert node.scale_duration(10.0) == pytest.approx(base / 0.25)
+        node.chaos_speed_factor = 1.0
+        # The ``== 1.0`` fast path restores the exact original expression.
+        assert node.scale_duration(10.0) == base
+
+    def test_straggle_window_restores_factor_exactly(self):
+        chaos = ChaosConfig(
+            stragglers=1,
+            straggler_window=(2.0, 3.0),
+            straggler_duration_s=5.0,
+            straggler_slowdown=0.3,
+        )
+        platform = run_platform(chaos=chaos)
+        assert platform.chaos.stragglers_applied == 1
+        # Window ended during the run: factors snapped back to exactly 1.0.
+        assert all(
+            node.chaos_speed_factor == 1.0 for node in platform.cluster.nodes
+        )
+        assert platform.summary().completed == 40
+
+    def test_dead_node_straggle_is_skipped(self):
+        chaos = ChaosConfig(stragglers=1, straggler_window=(5.0, 6.0))
+        platform = CanaryPlatform(seed=0, num_nodes=2, chaos=chaos)
+        for node in platform.cluster.nodes:
+            platform.cluster.fail_node(node.node_id, 0.0)
+        platform.run()
+        assert platform.chaos.straggler_skips == 1
+        assert platform.chaos.stragglers_applied == 0
+
+
+class TestZombies:
+    CHAOS = ChaosConfig(
+        zombies=1, zombie_window=(8.0, 9.0), zombie_kill_after_s=60.0
+    )
+
+    def test_detection_fences_the_zombie(self):
+        platform = run_platform(chaos=self.CHAOS, detection=DetectionConfig())
+        stats = platform.detection.stats()
+        # Heartbeat silence declares the zombie dead; the hard-kill backstop
+        # is cancelled by the cluster failure listener.
+        assert stats.detections == 1
+        assert platform.chaos.zombies_started == 1
+        assert platform.chaos.zombie_hard_kills == 0
+        summary = platform.summary()
+        assert summary.completed == 40
+        assert summary.degraded_s > 0.0
+
+    def test_adopted_replica_on_zombie_node_recovers(self):
+        # Regression: at seed 43 a primary dies at ~7.6 s and canary adopts
+        # a warm replica on the node that turns zombie at ~8 s.  The adopted
+        # container keeps ContainerPurpose.REPLICA, so a purpose-based loss
+        # dispatch never told the owning execution when detection fenced the
+        # node — the function wedged and heartbeats kept the sim alive
+        # forever.  Ownership-based dispatch recovers it.
+        chaos = ChaosConfig(
+            zombies=1, zombie_window=(8.0, 9.0), zombie_kill_after_s=45.0
+        )
+        platform = run_platform(
+            seed=43, error_rate=0.15, chaos=chaos, detection=DetectionConfig(),
+            backoff=BackoffPolicy(),
+        )
+        assert platform.sim.pending == 0
+        assert platform.summary().completed == 40
+        assert platform.detection.stats().detections == 1
+
+    def test_hard_kill_backstop_without_detection(self):
+        with_detection = run_platform(
+            chaos=self.CHAOS, detection=DetectionConfig()
+        ).summary()
+        without = run_platform(chaos=self.CHAOS)
+        assert without.chaos.zombie_hard_kills == 1
+        summary = without.summary()
+        assert summary.completed == 40
+        # Without heartbeats the work wedges until the 60 s hard kill (or
+        # invocation timeouts): recovery is far slower than detection.
+        assert summary.makespan_s > with_detection.makespan_s + 30.0
+
+
+class TestPartitions:
+    def test_short_partition_cordons_then_reinstates(self):
+        chaos = ChaosConfig(
+            partitions=1,
+            partition_window=(8.0, 9.0),
+            partition_duration_s=2.0,
+        )
+        platform = run_platform(
+            chaos=chaos,
+            detection=DetectionConfig(),
+            network=NETWORK_PRESETS["10gbe"],
+        )
+        stats = platform.detection.stats()
+        # 2 s of dropped beats < 4 s confirm timeout: a false-positive
+        # cordon/reinstate cycle, not a kill.
+        assert stats.heartbeats_dropped > 0
+        assert stats.false_suspicions == 1
+        assert stats.detections == 0
+        assert len(platform.cluster.alive_nodes()) == 16
+        assert all(not n.cordoned for n in platform.cluster.nodes)
+        # NIC capacities restored when the partition healed.
+        nic = [
+            link
+            for name, link in platform.network.links.items()
+            if name.startswith("nic-")
+        ]
+        assert len({link.bandwidth for link in nic}) == 1
+        assert platform.summary().completed == 40
+
+
+class TestTierBrownouts:
+    def test_refusing_tier_spills_writes(self):
+        chaos = ChaosConfig(
+            tier_brownouts=(
+                TierBrownout(
+                    tier="kv", start_s=6.0, duration_s=10.0, mode="refuse"
+                ),
+            )
+        )
+        platform = run_platform(chaos=chaos)
+        assert platform.router.brownout_spills > 0
+        assert platform.chaos.tier_brownouts_applied == 1
+        assert platform.summary().completed == 40
+        # Brownout cleared: the registry accepts kv again.
+        assert not platform.tiers.is_refusing("kv")
+
+    def test_slow_mode_inflates_latency(self):
+        tiers = TierRegistry()
+        tier = tiers.get("pmem")
+        base_read = tiers.read_seconds(tier, 2**20)
+        base_write = tiers.write_seconds(tier, 2**20)
+        tiers.set_brownout("pmem", latency_multiplier=4.0)
+        assert tiers.read_seconds(tier, 2**20) == pytest.approx(4 * base_read)
+        assert tiers.write_seconds(tier, 2**20) == pytest.approx(
+            4 * base_write
+        )
+        tiers.clear_brownout("pmem")
+        # Exact (not approx): the healthy path must return the original
+        # float expression for byte-identity.
+        assert tiers.read_seconds(tier, 2**20) == base_read
+
+    def test_spill_skips_refusing_tier(self):
+        tiers = TierRegistry()
+        healthy = tiers.fastest_spill_tier(2**20)
+        tiers.set_brownout(healthy.name, refuse=True)
+        assert tiers.fastest_spill_tier(2**20).name != healthy.name
+        tiers.clear_brownout(healthy.name)
+        assert tiers.fastest_spill_tier(2**20).name == healthy.name
+
+
+class TestRestoreBackoff:
+    def scenario(self, seed, duration_s=15.0, policy=None):
+        chaos = ChaosConfig(
+            tier_brownouts=(
+                TierBrownout(
+                    tier="kv",
+                    start_s=15.0,
+                    duration_s=duration_s,
+                    mode="refuse",
+                ),
+            )
+        )
+        return run_platform(
+            seed=seed,
+            error_rate=0.25,
+            interval=5,
+            chaos=chaos,
+            backoff=policy or BackoffPolicy(),
+        )
+
+    def test_backoff_recovers_when_brownout_clears(self):
+        platform = self.scenario(seed=1)
+        metrics = platform.metrics
+        # One victim's restore hit the refused kv tier: the full 6-retry
+        # schedule ran, the brownout cleared, and the restore succeeded.
+        assert metrics.backoff_waits == 6
+        assert metrics.backoff_wait_s == pytest.approx(12.36, abs=0.1)
+        assert metrics.restore_fallbacks == 0
+        assert platform.summary().completed == 40
+        assert platform.summary().degraded_s >= metrics.backoff_wait_s
+
+    def test_exhausted_backoff_falls_back(self):
+        platform = self.scenario(
+            seed=3, duration_s=30.0, policy=BackoffPolicy(max_attempts=2)
+        )
+        metrics = platform.metrics
+        # Three restores exhausted their 2 retries against the long
+        # brownout; no older healthy-tier checkpoint exists, so each
+        # degraded to a from-scratch restart — and the job still finished.
+        assert metrics.backoff_waits == 6
+        assert metrics.restore_fallbacks == 3
+        assert platform.summary().completed == 40
+
+    def test_no_backoff_without_policy(self):
+        chaos = ChaosConfig(
+            tier_brownouts=(
+                TierBrownout(
+                    tier="kv", start_s=15.0, duration_s=15.0, mode="refuse"
+                ),
+            )
+        )
+        platform = run_platform(
+            seed=1, error_rate=0.25, interval=5, chaos=chaos
+        )
+        # Legacy path: restores proceed immediately (the latency hit is
+        # modeled in the tier), nothing waits.
+        assert platform.metrics.backoff_waits == 0
+        assert platform.summary().completed == 40
+
+
+class TestPlacementBackoff:
+    def test_saturated_node_polls_on_schedule(self):
+        platform = CanaryPlatform(
+            seed=0, num_nodes=1, strategy="retry", backoff=BackoffPolicy()
+        )
+        platform.submit_job(
+            JobRequest(
+                workload=get_workload("micro-python"), num_functions=60
+            )
+        )
+        platform.run()
+        controller = platform.controller
+        # 48 slots -> 12 requests queue; each re-drives on the full
+        # 6-attempt schedule while the node stays saturated.
+        assert controller.queued_requests_total == 12
+        assert controller.backoff_retries == 72
+        assert platform.summary().completed == 60
+
+    def test_no_timers_without_backoff(self):
+        platform = CanaryPlatform(seed=0, num_nodes=1, strategy="retry")
+        platform.submit_job(
+            JobRequest(
+                workload=get_workload("micro-python"), num_functions=60
+            )
+        )
+        platform.run()
+        assert platform.controller.backoff_retries == 0
+        assert platform.summary().completed == 60

@@ -1,0 +1,237 @@
+"""Heartbeat detection and backoff policy (the gray-failure stack).
+
+Detection latency is *emergent* here: a node failure is noticed when its
+heartbeats stop and the phi-accrual threshold plus the confirm timeout run
+out — not after a constant ``detection_delay_s``.  The pins below fix the
+resulting distributions per seed.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.canary import CanaryPlatform
+from repro.core.jobs import JobRequest
+from repro.detection import BackoffPolicy, DetectionConfig, DetectionModule
+from repro.faults.chaos import ChaosConfig
+from repro.sim.engine import Simulator
+from repro.workloads.profiles import get_workload
+
+
+def run_platform(seed=42, n=40, **kwargs):
+    platform = CanaryPlatform(
+        seed=seed, num_nodes=16, strategy="canary", **kwargs
+    )
+    platform.submit_job(
+        JobRequest(workload=get_workload("graph-bfs"), num_functions=n)
+    )
+    platform.run()
+    return platform
+
+
+class TestBackoffPolicy:
+    def test_unjittered_schedule_is_exact(self):
+        policy = BackoffPolicy(base_s=0.2, factor=2.0, max_s=5.0, jitter=0.5)
+        assert policy.delay(0) == pytest.approx(0.2)
+        assert policy.delay(1) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(3.2)
+        # 0.2 * 2^5 = 6.4 caps at max_s.
+        assert policy.delay(5) == pytest.approx(5.0)
+
+    def test_jitter_scales_the_delay(self):
+        policy = BackoffPolicy(base_s=0.2, factor=2.0, max_s=5.0, jitter=0.5)
+        assert policy.delay(2, u=1.0) == pytest.approx(0.8 * 1.5)
+        assert policy.delay(2, u=0.0) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_s=0.1, base_s=0.2)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+        policy = BackoffPolicy()
+        with pytest.raises(ValueError):
+            policy.delay(-1)
+        with pytest.raises(ValueError):
+            policy.delay(0, u=2.0)
+
+
+class TestDetectionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectionConfig(heartbeat_interval_s=0.0)
+        with pytest.raises(ValueError):
+            DetectionConfig(heartbeat_jitter=1.5)
+        with pytest.raises(ValueError):
+            DetectionConfig(window=1)
+        with pytest.raises(ValueError):
+            DetectionConfig(phi_threshold=0.0)
+        with pytest.raises(ValueError):
+            DetectionConfig(confirm_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            DetectionConfig(processing_delay_s=-1.0)
+
+
+class TestSuspectAfter:
+    def test_empty_history_uses_configured_period(self):
+        module = DetectionModule(Simulator(), Cluster(2), DetectionConfig())
+        config = module.config
+        expected_mu = config.heartbeat_interval_s * (
+            1.0 + 0.5 * config.heartbeat_jitter
+        )
+        threshold = module.suspect_after("node-00")
+        assert threshold == pytest.approx(
+            expected_mu + module._z * config.min_std_s
+        )
+        # The phi-8 quantile sits a bit over 5 sigma out.
+        assert 5.0 < module._z < 6.0
+
+    def test_threshold_tracks_observed_gaps(self):
+        module = DetectionModule(Simulator(), Cluster(2), DetectionConfig())
+        from collections import deque
+
+        module._history["node-00"] = deque([0.5] * 10, maxlen=20)
+        tight = module.suspect_after("node-00")
+        module._history["node-01"] = deque([2.0] * 10, maxlen=20)
+        slow = module.suspect_after("node-01")
+        assert slow > tight > 0.5
+
+
+class TestHealthyCluster:
+    def test_no_suspicions_without_faults(self):
+        platform = run_platform(error_rate=0.0, detection=DetectionConfig())
+        stats = platform.detection.stats()
+        assert stats.heartbeats_sent > 0
+        assert stats.suspicions == 0
+        assert stats.false_suspicions == 0
+        assert stats.detections == 0
+        assert stats.cordoned_s == 0.0
+        summary = platform.summary()
+        assert summary.completed == 40
+        assert summary.detections == 0
+        assert summary.degraded_s == 0.0
+
+    def test_heartbeats_stop_when_idle(self):
+        # The monitor must not keep the sim alive after the last job.
+        platform = run_platform(error_rate=0.0, detection=DetectionConfig())
+        assert platform.sim.pending == 0
+
+
+class TestNodeFailureDetection:
+    def test_emergent_detection_latency(self):
+        platform = run_platform(
+            error_rate=0.0,
+            node_failure_count=1,
+            node_failure_window=(10.0, 11.0),
+            detection=DetectionConfig(),
+        )
+        stats = platform.detection.stats()
+        assert stats.suspicions == 1
+        assert stats.false_suspicions == 0
+        assert stats.detections == 1
+        # Latency = silence until the phi threshold + the confirm timeout:
+        # strictly more than the 4 s confirm, well under a beat + confirm*2.
+        assert stats.detection_latency_mean_s > 4.0
+        assert stats.detection_latency_mean_s < 6.0
+        assert stats.detection_latency_mean_s == pytest.approx(4.52, abs=0.2)
+        summary = platform.summary()
+        assert summary.completed == 40
+        assert summary.detections == 1
+        assert summary.detection_latency_mean_s == pytest.approx(
+            stats.detection_latency_mean_s
+        )
+
+    def test_latency_distribution_is_seed_deterministic(self):
+        def latencies(seed):
+            platform = run_platform(
+                seed=seed,
+                error_rate=0.0,
+                node_failure_count=2,
+                node_failure_window=(8.0, 14.0),
+                detection=DetectionConfig(),
+            )
+            return tuple(platform.detection.detection_latencies)
+
+        assert latencies(5) == latencies(5)
+        assert latencies(5) != latencies(6)
+
+
+class TestFalseSuspicions:
+    def test_straggler_causes_cordon_then_reinstate(self):
+        chaos = ChaosConfig(
+            stragglers=1,
+            straggler_window=(8.0, 9.0),
+            straggler_duration_s=10.0,
+            straggler_slowdown=0.2,
+        )
+        platform = run_platform(
+            error_rate=0.0, detection=DetectionConfig(), chaos=chaos
+        )
+        stats = platform.detection.stats()
+        # The stretched heartbeat gap trips the detector exactly once; the
+        # next (late) beat arrives before the confirm timeout and reinstates.
+        assert stats.false_suspicions == 1
+        assert stats.detections == 0
+        assert stats.cordoned_s > 0.0
+        # Reinstated: no node left cordoned, nothing fenced, job finished.
+        assert all(not node.cordoned for node in platform.cluster.nodes)
+        assert len(platform.cluster.alive_nodes()) == 16
+        assert platform.summary().completed == 40
+
+
+class TestNotifyAfterDetection:
+    def test_declared_node_flushes_waiters(self):
+        sim = Simulator(seed=1)
+        cluster = Cluster(4)
+        module = DetectionModule(sim, cluster, DetectionConfig())
+        module.ensure_running(lambda: sim.now < 30.0)
+        doomed = cluster.nodes[0].node_id
+        fired = []
+        sim.call_at(5.0, lambda: cluster.fail_node(doomed, 5.0))
+        sim.call_at(
+            6.0,
+            lambda: module.notify_after_detection(
+                doomed, lambda: fired.append(sim.now)
+            ),
+        )
+        sim.run()
+        assert module.is_declared(doomed)
+        assert len(fired) == 1
+        # Verdict lands after suspicion + confirm, then processing delay.
+        assert fired[0] > 9.0
+        assert fired[0] == pytest.approx(
+            module.detection_latencies[0] + 5.0 + module.config.processing_delay_s,
+            abs=1e-9,
+        )
+
+    def test_healthy_node_waiter_fires_on_next_heartbeat(self):
+        sim = Simulator(seed=1)
+        cluster = Cluster(4)
+        module = DetectionModule(sim, cluster, DetectionConfig())
+        module.ensure_running(lambda: sim.now < 10.0)
+        target = cluster.nodes[1].node_id
+        fired = []
+        sim.call_at(
+            2.0,
+            lambda: module.notify_after_detection(
+                target, lambda: fired.append(sim.now)
+            ),
+        )
+        sim.run()
+        assert len(fired) == 1
+        # Next beat is within one jittered period; plus processing delay.
+        assert 2.0 < fired[0] < 2.0 + 0.55 + module.config.processing_delay_s
+
+    def test_already_declared_fires_after_processing_delay(self):
+        sim = Simulator(seed=1)
+        cluster = Cluster(2)
+        module = DetectionModule(sim, cluster, DetectionConfig())
+        module._declared.add("node-00")
+        fired = []
+        module.notify_after_detection("node-00", lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [pytest.approx(module.config.processing_delay_s)]

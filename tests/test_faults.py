@@ -135,6 +135,37 @@ class TestAttemptDecisions:
             is not None
         )
 
+    def test_fractional_refailure_rate_pinned_per_seed(self):
+        # Seed 7, refailure_rate=0.5: exactly which of ten recovery
+        # attempts re-fail is a pure function of the stream.
+        injector = make_injector(error_rate=1.0, refailure_rate=0.5)
+        injector.register_job(make_job(10))
+        fid = sorted(injector.plan_for("job-0000").victims)[0]
+        draws = [
+            injector.attempt_kill_fraction(
+                job_id="job-0000", function_id=fid, attempt_index=1
+            )
+            for _ in range(10)
+        ]
+        killed = [i for i, f in enumerate(draws) if f is not None]
+        assert killed == [4, 5, 9]
+        assert draws[4] == pytest.approx(0.2770, abs=1e-3)
+        lo, hi = injector.kill_fraction_bounds
+        assert all(lo <= f <= hi for f in draws if f is not None)
+
+    def test_fractional_secondary_kill_rate_pinned_per_seed(self):
+        injector = make_injector(error_rate=1.0, secondary_kill_rate=0.4)
+        injector.register_job(make_job(10))
+        fid = sorted(injector.plan_for("job-0000").victims)[0]
+        draws = [
+            injector.attempt_kill_fraction(
+                job_id="job-0000", function_id=fid, attempt_index=0,
+                secondary=True,
+            )
+            for _ in range(10)
+        ]
+        assert sum(f is not None for f in draws) == 3
+
     def test_invalid_rates_rejected(self):
         with pytest.raises(ValueError):
             make_injector(error_rate=1.5)
@@ -162,12 +193,81 @@ class TestNodeFailures:
         assert len(cluster.alive_nodes()) == 6
 
     def test_empty_window_rejected(self):
-        injector = FailureInjector(
-            Simulator(), node_failure_count=1, node_failure_window=(5.0, 5.0)
-        )
-        with pytest.raises(ValueError):
-            injector.schedule_node_failures(Cluster(2))
+        # Rejected at construction time, not mid-run.
+        with pytest.raises(ValueError, match="node_failure_window"):
+            FailureInjector(
+                Simulator(),
+                node_failure_count=1,
+                node_failure_window=(5.0, 5.0),
+            )
+
+    def test_empty_window_allowed_without_node_failures(self):
+        # The (0, 0) default is fine as long as no failures are scheduled.
+        injector = FailureInjector(Simulator(), node_failure_window=(0.0, 0.0))
+        assert injector.schedule_node_failures(Cluster(2)) == []
 
     def test_zero_count_is_noop(self):
         injector = FailureInjector(Simulator())
         assert injector.schedule_node_failures(Cluster(2)) == []
+
+    def test_victims_are_distinct_nodes(self):
+        sim = Simulator(seed=3)
+        cluster = Cluster(8)
+        injector = FailureInjector(
+            sim,
+            node_failure_count=3,
+            node_failure_window=(1.0, 2.0),
+        )
+        injector.schedule_node_failures(cluster)
+        sim.run()
+        victims = [node_id for _, node_id in injector.scheduled_node_failures]
+        assert victims == ["node-07", "node-05", "node-01"]
+        assert len(set(victims)) == 3
+        assert injector.victim_repicks == 0
+
+    def test_dead_victim_is_repicked_and_counted(self):
+        sim = Simulator(seed=7)
+        cluster = Cluster(3)
+        injector = FailureInjector(
+            sim,
+            node_failure_count=2,
+            node_failure_window=(1.0, 2.0),
+        )
+        injector.schedule_node_failures(cluster)
+        # Kill two nodes before the failures fire: the first failure
+        # re-picks the survivor, the second finds nobody left.
+        cluster.fail_node(cluster.nodes[0].node_id, 0.5)
+        cluster.fail_node(cluster.nodes[1].node_id, 0.5)
+        sim.run()
+        assert injector.victim_repicks == 1
+        assert injector.node_kills_injected == 1
+        assert [n for _, n in injector.scheduled_node_failures] == ["node-02"]
+        assert len(cluster.alive_nodes()) == 0
+
+    def test_precursors_follow_the_repicked_victim(self):
+        # The precursor closures share the target cell with the failure
+        # event: a dead original victim no longer receives precursors.
+        sim = Simulator(seed=7)
+        cluster = Cluster(3)
+        injector = FailureInjector(
+            sim,
+            node_failure_count=1,
+            node_failure_window=(8.0, 9.0),
+            node_failure_precursors=2,
+            precursor_spacing_s=2.0,
+        )
+
+        class _Controller:
+            def __init__(self):
+                self.kills = []
+
+            def kill_container(self, container, reason):
+                self.kills.append((container, reason))
+
+        controller = _Controller()
+        injector.schedule_node_failures(cluster, controller=controller)
+        sim.run()
+        # No containers on the bare cluster: precursors fired but found
+        # nothing to kill; the machinery must not crash either way.
+        assert controller.kills == []
+        assert injector.node_kills_injected == 1
