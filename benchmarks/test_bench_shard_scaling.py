@@ -1,0 +1,164 @@
+"""Shard-scaling benchmark: batched engine hot path + parallel shard groups.
+
+Three regression-visible numbers, written to ``BENCH_shard.json`` at the
+repo root on every run:
+
+* ``engine.events_per_sec`` — single-core throughput of the batched drain
+  on a pre-drawn event schedule.  The delays are drawn vectorized up
+  front (one numpy call), so the number measures the *engine* — pop,
+  dispatch, bookkeeping — not numpy's ~1.3µs-per-call scalar sampling,
+  which dominated (and capped) the old per-event-draw microbench.
+* ``sharding.sharded_fraction`` — machine-independent: the fraction of
+  fired events that ran outside the largest execution group on the
+  multi-rack scenario.  Event counts are deterministic, so this guards
+  the decomposition itself (CI smoke asserts it) without ever comparing
+  wall-clock across machines.
+* ``sharding.speedup`` — serial vs process-backend wall-clock on the
+  fabric-heavy multi-rack scenario.  Like BENCH_runner, the ≥2× assertion
+  only fires on full runs with ≥4 usable cores; a single-core runner
+  records ``"speedup": null`` with a ``"single-core"`` note.
+
+Every backend's merged output is byte-compared inside this benchmark —
+the speedup is only reported if the results are identical.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import default_jobs
+from repro.experiments.runner import run_scenario
+from repro.sim.engine import Simulator
+from repro.sim.sharded import run_partitioned
+from repro.sim.sharded.scenario import build_scenario
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+SMOKE = os.environ.get("BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
+#: Acceptance bar for the batched single-core hot path.
+MIN_EVENTS_PER_SEC = 500_000
+#: Machine-independent guard: the multi-rack scenario must actually
+#: decompose (most events outside the largest group).
+MIN_SHARDED_FRACTION = 0.70
+
+
+def drain_prescheduled(n_events: int) -> float:
+    """Seconds to fire *n_events* through a self-refilling event loop.
+
+    The delay schedule is pre-drawn in one vectorized numpy pass and
+    converted to plain floats; each callback then only reads the next
+    delay, schedules, and returns — which is exactly the engine-dominated
+    profile of a real simulated run (components precompute durations; the
+    engine pays pop + dispatch).  The GC is paused for the timed region
+    so the number tracks the engine, not collector pauses over the ~1M
+    short-lived Event objects the workload churns through.
+    """
+    sim = Simulator(seed=0)
+    delays = sim.rng.stream("bench").uniform(
+        0.01, 1.0, size=n_events + 64
+    ).tolist()
+    cursor = [0]
+
+    def tick() -> None:
+        if sim.pending < 64 and sim.events_processed < n_events:
+            i = cursor[0]
+            cursor[0] = i + 8
+            for k in range(8):
+                sim.call_in(delays[i + k], tick)
+
+    for j in range(64):
+        sim.call_in(delays[j], tick)
+    cursor[0] = 64
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        sim.run(max_events=n_events)
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    assert sim.events_processed == n_events
+    return elapsed
+
+
+def _run_backend(backend: str, requests: int) -> tuple[float, object]:
+    """Wall-clock + result of the multi-rack scenario under one backend."""
+    programs, plan = build_scenario(
+        num_racks=4, nodes_per_rack=4, requests_per_rack=requests
+    )
+    start = time.perf_counter()
+    result = run_partitioned(programs, plan, seed=0, backend=backend)
+    return time.perf_counter() - start, result
+
+
+def test_bench_shard_scaling():
+    n_events = 50_000 if SMOKE else 1_000_000
+    requests = 60 if SMOKE else 600
+    cores = default_jobs()
+
+    # Best-of-3: shared runners jitter by 10-20%; the fastest run is the
+    # one least perturbed by neighbours and the stable engine metric.
+    reps = 1 if SMOKE else 3
+    engine_s = min(drain_prescheduled(n_events) for _ in range(reps))
+    events_per_sec = round(n_events / engine_s)
+
+    serial_s, serial = _run_backend("serial", requests)
+    process_s, process = _run_backend("process", requests)
+    # Byte-identity before any speedup claim.
+    assert process.records == serial.records
+    assert process.events == serial.events
+
+    # The welded app path must stay byte-identical too (cheap smoke of the
+    # platform invariant, full coverage lives in tests/test_sharded.py).
+    scenario = ScenarioConfig(
+        workload="dl-training", error_rate=0.15, num_functions=10
+    )
+    assert run_scenario(scenario, seed=0) == run_scenario(
+        scenario.with_(shards=4), seed=0
+    )
+
+    speedup = serial_s / process_s if process_s > 0 else 0.0
+    sharding = {
+        "scenario": "multi-rack-fabric",
+        "racks": 4,
+        "requests_per_rack": requests,
+        "events": serial.events,
+        "epochs": serial.epochs,
+        "messages": serial.messages,
+        "groups": serial.n_groups,
+        "lookahead_s": serial.lookahead_s,
+        "sharded_fraction": round(serial.sharded_fraction, 4),
+        "serial_wall_s": round(serial_s, 3),
+        "process_wall_s": round(process_s, 3),
+        "speedup": round(speedup, 2),
+    }
+    if cores < 4:
+        # Parallel groups cannot beat serial without cores to run on; the
+        # ratio would read as a regression.  Flag instead of publishing.
+        sharding["speedup"] = None
+        sharding["note"] = f"{cores}-core"
+    record = {
+        "smoke": SMOKE,
+        "cores": cores,
+        "engine": {
+            "events": n_events,
+            "events_per_sec": events_per_sec,
+            "batched": True,
+        },
+        "sharding": sharding,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))
+
+    # Machine-independent guard: runs everywhere, including CI smoke.
+    assert serial.sharded_fraction >= MIN_SHARDED_FRACTION, sharding
+    if not SMOKE:
+        assert events_per_sec >= MIN_EVENTS_PER_SEC, record["engine"]
+    if not SMOKE and cores >= 4:
+        assert speedup >= 2.0, sharding

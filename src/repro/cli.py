@@ -97,6 +97,21 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shards(value: str) -> int | str:
+    """``--shards`` argument: a positive int or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shards must be an integer or 'auto', got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("shards must be >= 1")
+    return count
+
+
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
     chaos = detection = backoff = None
     if getattr(args, "chaos", False):
@@ -120,6 +135,7 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         chaos=chaos,
         detection=detection,
         backoff=backoff,
+        shards=getattr(args, "shards", 1),
     )
 
 
@@ -185,6 +201,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"jsonl             : {args.jsonl}")
     print()
     print(format_stats_table(aggregate_spans(traced.spans)))
+    if traced.engine is not None:
+        from repro.metrics.engine import format_engine_stats
+
+        print()
+        print(format_engine_stats(traced.engine))
     print()
     print("open the trace in chrome://tracing or https://ui.perfetto.dev")
     return 0
@@ -207,6 +228,8 @@ def _figure_command(args: argparse.Namespace) -> int:
         kwargs["seeds"] = range(3)
     if args.jobs is not None:
         kwargs["jobs"] = args.jobs
+    if args.shards is not None:
+        kwargs["shards"] = args.shards
     result = module.run(**kwargs)
     print(format_table(result))
     if args.chart:
@@ -252,6 +275,10 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
                         help="enable the gray-failure preset (stragglers, "
                         "a zombie, a partition, a KV brownout) plus "
                         "heartbeat detection and retry backoff")
+    parser.add_argument("--shards", type=_parse_shards, default=1,
+                        metavar="N|auto",
+                        help="event shards (1 = serial engine, 'auto' = one "
+                        "per rack); any value is byte-identical to 1")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -302,6 +329,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for the sweep (default: one "
                         "per core; 1 forces serial in-process execution)")
+    figure.add_argument("--shards", type=_parse_shards, default=None,
+                        metavar="N|auto",
+                        help="event shards per cell (byte-identical to the "
+                        "default serial engine)")
     figure.add_argument("--chart", action="store_true",
                         help="append a terminal bar chart of the first "
                         "numeric column")

@@ -314,6 +314,7 @@ class FunctionExecution:
                 delay,
                 lambda: self._begin_states(attempt),
                 label=f"setup:{attempt.attempt_id}",
+                shard=attempt.container.node.node_id,
             )
         else:
             self._begin_states(attempt)
@@ -359,6 +360,7 @@ class FunctionExecution:
                         attempt, record, extra_delay, retries + 1
                     ),
                     label=f"backoff:{attempt.attempt_id}",
+                    shard=attempt.container.node.node_id,
                 )
                 return
             ctx.metrics.restore_fallbacks += 1
@@ -421,7 +423,8 @@ class FunctionExecution:
             self.ctx.controller.kill_container(attempt.container, "timeout")
 
         attempt.timeout_handle = self.ctx.sim.call_in(
-            timeout, _timeout, label=f"timeout:{attempt.attempt_id}"
+            timeout, _timeout, label=f"timeout:{attempt.attempt_id}",
+            shard=attempt.container.node.node_id,
         )
 
     # ------------------------------------------------------------------
@@ -465,7 +468,8 @@ class FunctionExecution:
             self.ctx.controller.kill_container(attempt.container, "injected")
 
         attempt.kill_handle = self.ctx.sim.call_in(
-            delay, _kill, label=f"kill:{attempt.attempt_id}"
+            delay, _kill, label=f"kill:{attempt.attempt_id}",
+            shard=attempt.container.node.node_id,
         )
 
     def planned_remaining_duration(self, attempt: Attempt) -> float:
@@ -502,6 +506,7 @@ class FunctionExecution:
                 finish,
                 lambda: self._complete(attempt),
                 label=f"finish:{attempt.attempt_id}",
+                shard=attempt.container.node.node_id,
             )
             return
         duration = attempt.container.node.scale_duration(
@@ -513,6 +518,7 @@ class FunctionExecution:
             duration,
             lambda: self._state_done(attempt),
             label=f"state:{attempt.attempt_id}:{index}",
+            shard=attempt.container.node.node_id,
         )
         self._arm_recovery_checks()
 
@@ -570,6 +576,7 @@ class FunctionExecution:
                 duration,
                 lambda: self._schedule_next_state(attempt),
                 label=f"ckpt:{attempt.attempt_id}:{index}",
+                shard=attempt.container.node.node_id,
             )
         else:
             self._schedule_next_state(attempt)

@@ -208,6 +208,7 @@ class DetectionModule:
             self._period(node),
             lambda: self._beat(node),
             label=f"hb:{node.node_id}",
+            shard=node.node_id,
         )
 
     def _beat(self, node: "Node") -> None:
@@ -273,6 +274,7 @@ class DetectionModule:
             now + self.suspect_after(node_id),
             lambda: self._suspect(node),
             label=f"suspect:{node_id}",
+            shard=node_id,
         )
 
     def _suspect(self, node: "Node") -> None:
@@ -298,6 +300,7 @@ class DetectionModule:
             self.config.confirm_timeout_s,
             lambda: self._confirm(node),
             label=f"confirm:{node_id}",
+            shard=node_id,
         )
 
     def _reinstate(self, node: "Node", now: float) -> None:

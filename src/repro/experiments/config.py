@@ -54,6 +54,11 @@ class ScenarioConfig:
     detection: Optional[DetectionConfig] = None
     #: Placement/restore retry-backoff policy; None disables backoff.
     backoff: Optional[BackoffPolicy] = None
+    #: Event-shard count: 1 (default) is the plain serial engine, an int
+    #: or ``"auto"`` (one shard per rack) enables the lane-tagged sharded
+    #: engine.  Byte-identity invariant: any value produces the same
+    #: RunSummary/trace as ``shards=1`` at the same seed.
+    shards: int | str = 1
 
     def __post_init__(self) -> None:
         if self.num_functions <= 0:
@@ -62,6 +67,8 @@ class ScenarioConfig:
             raise ValueError("jobs must be positive")
         if self.num_functions % self.jobs != 0:
             raise ValueError("num_functions must divide evenly into jobs")
+        if self.shards != "auto" and int(self.shards) < 1:
+            raise ValueError("shards must be >= 1 or 'auto'")
 
     def with_(self, **changes) -> "ScenarioConfig":
         """Functional update (thin wrapper over dataclasses.replace)."""

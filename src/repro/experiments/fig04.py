@@ -26,6 +26,7 @@ def run(
     workloads: Optional[Sequence[str]] = None,
     num_functions: int = 100,
     jobs: Optional[int] = None,
+    shards: Optional[int | str] = None,
 ) -> FigureResult:
     workloads = list(workloads or (w.name for w in ALL_WORKLOADS))
     scenarios: list[ScenarioConfig] = []
@@ -43,7 +44,7 @@ def run(
                 )
     rows: list[dict] = []
     for scenario, summaries in zip(
-        scenarios, run_sweep(scenarios, seeds, jobs=jobs)
+        scenarios, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
     ):
         row = mean_of(summaries)
         rows.append(

@@ -26,6 +26,7 @@ def run(
     error_rate: float = ERROR_RATE,
     num_functions: int = 100,
     jobs: Optional[int] = None,
+    shards: Optional[int | str] = None,
 ) -> FigureResult:
     grid = [
         (profile, strategy)
@@ -43,7 +44,7 @@ def run(
     ]
     rows: list[dict] = []
     for (profile, strategy), summaries in zip(
-        grid, run_sweep(scenarios, seeds, jobs=jobs)
+        grid, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
     ):
         row = mean_of(summaries)
         rows.append(

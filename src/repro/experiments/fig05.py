@@ -26,6 +26,7 @@ def run(
     workloads: Optional[Sequence[str]] = None,
     error_rate: float = ERROR_RATE,
     jobs: Optional[int] = None,
+    shards: Optional[int | str] = None,
 ) -> FigureResult:
     workloads = list(workloads or (w.name for w in ALL_WORKLOADS))
     grid = [
@@ -45,7 +46,7 @@ def run(
     ]
     rows: list[dict] = []
     for (workload, strategy, n), summaries in zip(
-        grid, run_sweep(scenarios, seeds, jobs=jobs)
+        grid, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
     ):
         row = mean_of(summaries)
         rows.append(

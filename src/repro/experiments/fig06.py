@@ -29,6 +29,7 @@ def run(
     workloads: Optional[Sequence[str]] = None,
     num_functions: int = 100,
     jobs: Optional[int] = None,
+    shards: Optional[int | str] = None,
 ) -> FigureResult:
     workloads = list(workloads or (w.name for w in ALL_WORKLOADS))
     scenarios = [
@@ -44,7 +45,7 @@ def run(
     ]
     rows: list[dict] = []
     for scenario, summaries in zip(
-        scenarios, run_sweep(scenarios, seeds, jobs=jobs)
+        scenarios, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
     ):
         row = mean_of(summaries)
         rows.append(

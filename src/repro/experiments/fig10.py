@@ -27,6 +27,7 @@ def run(
     num_functions: int = 100,
     workload: str = WORKLOAD,
     jobs: Optional[int] = None,
+    shards: Optional[int | str] = None,
 ) -> FigureResult:
     scenarios = [
         ScenarioConfig(
@@ -40,7 +41,7 @@ def run(
     ]
     rows: list[dict] = []
     for scenario, summaries in zip(
-        scenarios, run_sweep(scenarios, seeds, jobs=jobs)
+        scenarios, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
     ):
         row = mean_of(summaries)
         rows.append(

@@ -35,6 +35,7 @@ def run(
     error_rate: float = ERROR_RATE,
     workload: str = WORKLOAD,
     jobs: Optional[int] = None,
+    shards: Optional[int | str] = None,
 ) -> FigureResult:
     grid = [(strategy, n) for strategy in STRATEGIES for n in invocations]
     scenarios = [
@@ -51,7 +52,7 @@ def run(
     ]
     rows: list[dict] = []
     for (strategy, n), summaries in zip(
-        grid, run_sweep(scenarios, seeds, jobs=jobs)
+        grid, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
     ):
         row = mean_of(summaries)
         rows.append(

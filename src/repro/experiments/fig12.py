@@ -32,6 +32,7 @@ def run(
     batch_jobs: int = BATCH_JOBS,
     workload: str = WORKLOAD,
     jobs: Optional[int] = None,
+    shards: Optional[int | str] = None,
 ) -> FigureResult:
     grid = [(strategy, nodes) for strategy in STRATEGIES for nodes in node_counts]
     scenarios = [
@@ -47,7 +48,7 @@ def run(
     ]
     rows: list[dict] = []
     for (strategy, nodes), summaries in zip(
-        grid, run_sweep(scenarios, seeds, jobs=jobs)
+        grid, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
     ):
         row = mean_of(summaries)
         rows.append(

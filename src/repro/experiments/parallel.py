@@ -199,6 +199,7 @@ def run_sweep(
     seeds: Sequence[int],
     *,
     jobs: Optional[int] = None,
+    shards: Optional[int | str] = None,
 ) -> list[list[RunSummary]]:
     """Run every scenario at every seed; one summary list per scenario.
 
@@ -206,8 +207,14 @@ def run_sweep(
     :func:`repro.experiments.runner.run_repeated` per scenario: the full
     (scenario × seed) grid is flattened into one cell list so the pool sees
     every cell at once, then regrouped in scenario order.
+
+    ``shards`` (an int or ``"auto"``) overrides every scenario's event-shard
+    count; results are byte-identical regardless (the sharded engine's
+    invariant), so sweeps can flip it without perturbing any figure.
     """
     seeds = list(seeds)
+    if shards is not None:
+        scenarios = [s.with_(shards=shards) for s in scenarios]
     cells: list[Cell] = [
         (scenario, seed) for scenario in scenarios for seed in seeds
     ]

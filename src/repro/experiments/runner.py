@@ -11,6 +11,7 @@ from repro.core.config import PlatformConfig
 from repro.core.jobs import JobRequest
 from repro.common.types import ReplicationStrategyName
 from repro.experiments.config import DEFAULT_SEEDS, ScenarioConfig
+from repro.metrics.engine import EngineStats, collect_engine_stats
 from repro.metrics.summary import RunSummary
 from repro.trace.tracer import NullTracer, Span, Tracer
 from repro.workloads.profiles import get_workload
@@ -55,6 +56,7 @@ def _run_platform(
         detection=scenario.detection,
         backoff=scenario.backoff,
         tracer=tracer,
+        shards=scenario.shards,
     )
     for _ in range(scenario.jobs):
         platform.submit_job(
@@ -88,6 +90,10 @@ class TracedRun:
 
     summary: RunSummary
     spans: tuple[Span, ...]
+    #: Event-queue health (and shard-lane balance when the sharded engine
+    #: ran).  Diagnostics only — deliberately NOT part of the summary, so
+    #: the serial-vs-sharded byte-identity bar stays on summary + spans.
+    engine: Optional[EngineStats] = None
 
 
 def run_traced(scenario: ScenarioConfig, seed: int = 0) -> TracedRun:
@@ -99,7 +105,11 @@ def run_traced(scenario: ScenarioConfig, seed: int = 0) -> TracedRun:
     """
     tracer = Tracer()
     platform = _run_platform(scenario, seed, tracer=tracer)
-    return TracedRun(summary=platform.summary(), spans=tracer.spans())
+    return TracedRun(
+        summary=platform.summary(),
+        spans=tracer.spans(),
+        engine=collect_engine_stats(platform.sim),
+    )
 
 
 def run_repeated(

@@ -6,6 +6,11 @@ from repro.metrics.collector import (
     FunctionTrace,
     MetricsCollector,
 )
+from repro.metrics.engine import (
+    EngineStats,
+    collect_engine_stats,
+    format_engine_stats,
+)
 from repro.metrics.summary import RunSummary, summarize
 from repro.metrics.timeline import (
     TimelineEvent,
@@ -15,6 +20,7 @@ from repro.metrics.timeline import (
 )
 
 __all__ = [
+    "EngineStats",
     "FailureEvent",
     "FunctionTrace",
     "MetricsCollector",
@@ -22,6 +28,8 @@ __all__ = [
     "TimelineEvent",
     "availability",
     "build_timeline",
+    "collect_engine_stats",
+    "format_engine_stats",
     "iter_function_timeline",
     "render_timeline",
     "summarize",

@@ -469,13 +469,15 @@ class FlowNetwork:
         if not links or size_bytes <= 0:
             # Fabric bypass: same-node / local-tier, pure duration charge.
             flow.latency_handle = self.sim.call_in(
-                latency, lambda: self._finish(flow), label=f"xfer:{label}"
+                latency, lambda: self._finish(flow), label=f"xfer:{label}",
+                shard=endpoints[0] if endpoints else None,
             )
         elif latency > 0:
             # The fixed path/tier latency is charged before the flow
             # occupies bandwidth (it models handshakes, not streaming).
             flow.latency_handle = self.sim.call_in(
-                latency, lambda: self._activate(flow), label=f"xfer:{label}"
+                latency, lambda: self._activate(flow), label=f"xfer:{label}",
+                shard=endpoints[0] if endpoints else None,
             )
         else:
             self._activate(flow)
@@ -530,6 +532,7 @@ class FlowNetwork:
                     max(self.sim.now, self.sim.now + flow.remaining / flow.rate),
                     lambda: self._complete_event(flow),
                     label=f"flow-end:{flow.label}",
+                    shard=flow.endpoints[0] if flow.endpoints else None,
                 )
             return
         residual = flow.remaining
@@ -797,4 +800,5 @@ class FlowNetwork:
                 max(now, eta),
                 lambda f=flow: self._complete_event(f),
                 label=f"flow-end:{flow.label}",
+                shard=flow.endpoints[0] if flow.endpoints else None,
             )

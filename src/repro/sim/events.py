@@ -24,6 +24,21 @@ also public so callers can force a rebuild at a known point.
 ``peek_time`` is a pure read: the queue maintains the invariant that the
 heap top is never a cancelled event (dead tops are pruned inside ``cancel``
 and ``pop``), so peeking no longer mutates the heap as a side effect.
+
+Batched drains
+--------------
+:meth:`EventQueue.pop_batch` pops every live event strictly below a time
+horizon (or the whole same-timestamp run when no horizon is given) in one
+call, with ``heappop`` bound to a local — one method dispatch per *batch*
+instead of per event.  The engine's run loop and the sharded engine's
+window drains are built on it; callers that fire the returned events must
+re-check :meth:`peek_key` between callbacks (a callback may schedule a new
+event that sorts before the rest of the batch — the engine pushes the
+remainder back when that happens, preserving the serial total order).
+
+The heap list's *identity* is stable for the queue's lifetime: compaction
+rebuilds it in place (``self._heap[:] = ...``), so hot loops may safely
+bind the list to a local once.
 """
 
 from __future__ import annotations
@@ -43,11 +58,20 @@ class Event:
         key: Precomputed heap key ``(time, priority, seq)``.
         callback: Zero-argument callable invoked when the event fires.
         cancelled: Cancelled events stay in the heap but are skipped.
+        in_heap: True while the event occupies a heap slot.  Batched drains
+            pop events *before* firing them, so a callback early in the
+            batch can cancel a later batch member — ``EventQueue.cancel``
+            must then skip the heap-counter bookkeeping for the
+            already-popped event.
+        queue: The owning queue.  The event doubles as its own cancellable
+            handle (:meth:`cancel` / :attr:`active`), so scheduling does
+            not allocate a separate wrapper object per event — the
+            scheduling path is as hot as the drain path.
         label: Optional human-readable tag used in traces and error messages.
     """
 
     __slots__ = ("time", "priority", "seq", "key", "callback", "cancelled",
-                 "label")
+                 "in_heap", "queue", "label")
 
     def __init__(
         self,
@@ -56,6 +80,7 @@ class Event:
         seq: int,
         callback: Optional[Callable[[], Any]],
         label: str = "",
+        queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -63,14 +88,27 @@ class Event:
         self.key = (time, priority, seq)
         self.callback = callback
         self.cancelled = False
+        self.in_heap = True
+        self.queue = queue
         self.label = label
 
     def sort_key(self) -> tuple:
         return self.key
 
+    @property
+    def active(self) -> bool:
+        """True while the callback has neither fired nor been cancelled."""
+        return not self.cancelled and self.callback is not None
+
     def cancel(self) -> None:
-        self.cancelled = True
-        self.callback = None  # break reference cycles early
+        """Cancel the scheduled callback (no-op once fired or cancelled)."""
+        if self.cancelled or self.callback is None:
+            return
+        if self.queue is not None:
+            self.queue.cancel(self)
+        else:  # detached event (tests): just mark it dead
+            self.cancelled = True
+            self.callback = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "live"
@@ -82,8 +120,12 @@ class EventQueue:
     """Min-heap of :class:`Event` with deterministic total ordering.
 
     Args:
-        compaction_threshold: Minimum heap size before automatic compaction
-            kicks in; below it the O(n) rebuild costs more than it saves.
+        compaction_threshold: Floor on the heap size before automatic
+            compaction kicks in; below it the O(n) rebuild costs more than
+            it saves.  The effective threshold adapts upward after each
+            rebuild (to twice the surviving heap) so churn-heavy workloads
+            don't thrash on back-to-back rebuilds, and decays back toward
+            the floor once the heap shrinks.
     """
 
     def __init__(self, *, compaction_threshold: int = 64) -> None:
@@ -91,8 +133,11 @@ class EventQueue:
         self._counter = itertools.count()
         self._live = 0
         self._cancelled = 0
+        self._base_threshold = compaction_threshold
         self._compaction_threshold = compaction_threshold
         self._compactions = 0
+        self._pushes = 0
+        self._peak_heap = 0
 
     def __len__(self) -> int:
         return self._live
@@ -115,6 +160,21 @@ class EventQueue:
         """Number of heap rebuilds performed so far."""
         return self._compactions
 
+    @property
+    def pushes(self) -> int:
+        """Total events ever scheduled into this queue."""
+        return self._pushes
+
+    @property
+    def peak_heap_size(self) -> int:
+        """High-water mark of physical heap entries."""
+        return self._peak_heap
+
+    @property
+    def compaction_threshold(self) -> int:
+        """Current (adaptive) minimum heap size for an automatic rebuild."""
+        return self._compaction_threshold
+
     def push(
         self,
         time: float,
@@ -123,16 +183,26 @@ class EventQueue:
         priority: int = 0,
         label: str = "",
     ) -> Event:
-        event = Event(time, priority, next(self._counter), callback, label)
-        heapq.heappush(self._heap, (event.key, event))
+        event = Event(time, priority, next(self._counter), callback, label,
+                      self)
+        heap = self._heap
+        heapq.heappush(heap, (event.key, event))
         self._live += 1
+        self._pushes += 1
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
         return event
 
     def cancel(self, event: Event) -> None:
         """Mark *event* cancelled; it is dropped lazily or at compaction."""
         if event.cancelled:
             return
-        event.cancel()
+        event.cancelled = True
+        event.callback = None  # break reference cycles early
+        if not event.in_heap:
+            # Already popped into an in-flight batch: the firing loop skips
+            # it; there is no heap slot to account for.
+            return
         self._live -= 1
         self._cancelled += 1
         heap = self._heap
@@ -141,22 +211,35 @@ class EventQueue:
         if (len(heap) >= self._compaction_threshold
                 and self._cancelled * 2 > len(heap)):
             self.compact()
+        elif len(heap) * 4 < self._compaction_threshold:
+            # Heap shrank well below the adapted threshold: decay so a
+            # later small-but-garbage-heavy phase still gets compacted.
+            self._compaction_threshold = max(
+                self._base_threshold, len(heap) * 2
+            )
 
     def compact(self) -> int:
         """Drop every cancelled entry and re-heapify.  Returns entries freed.
 
         Compaction is invisible to ordering: live entries keep their
         precomputed keys, and ``heapify`` restores the heap invariant over
-        exactly the surviving entries.
+        exactly the surviving entries.  The rebuild happens *in place* so
+        the heap list's identity never changes (hot loops hold it in a
+        local), and the adaptive threshold doubles past the survivors so
+        the next rebuild only fires after real regrowth.
         """
         if not self._cancelled:
             return 0
-        before = len(self._heap)
-        self._heap = [entry for entry in self._heap if not entry[1].cancelled]
-        heapq.heapify(self._heap)
+        heap = self._heap
+        before = len(heap)
+        heap[:] = [entry for entry in heap if not entry[1].cancelled]
+        heapq.heapify(heap)
         self._cancelled = 0
         self._compactions += 1
-        return before - len(self._heap)
+        self._compaction_threshold = max(
+            self._base_threshold, 2 * len(heap)
+        )
+        return before - len(heap)
 
     def _prune_top(self) -> None:
         """Restore the 'heap top is live' invariant after a pop/cancel."""
@@ -173,6 +256,7 @@ class EventQueue:
             if event.cancelled:
                 self._cancelled -= 1
                 continue
+            event.in_heap = False
             self._live -= 1
             if heap and heap[0][1].cancelled:
                 self._prune_top()
@@ -187,3 +271,73 @@ class EventQueue:
         """
         heap = self._heap
         return heap[0][1].time if heap else None
+
+    def peek_key(self) -> Optional[tuple]:
+        """Sort key ``(time, priority, seq)`` of the next live event."""
+        heap = self._heap
+        return heap[0][0] if heap else None
+
+    def pop_batch(
+        self,
+        horizon: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> list[Event]:
+        """Pop a run of live events in one call.
+
+        With *horizon*, pops every live event with ``time < horizon`` (the
+        sharded engine's conservative window drain).  Without one, pops the
+        run of events sharing the next event's ``(time, priority)`` — the
+        same-timestamp batch fired together by :meth:`Simulator.step_batch`.
+        ``limit`` caps the batch size either way.
+
+        ``heappop`` is bound to a local so the per-event cost is one heap
+        operation, not a method dispatch; cancelled entries are collected
+        for free along the way.  Callers that interleave callbacks with the
+        returned events must compare :meth:`peek_key` against the next
+        event's ``key`` and :meth:`push_back` the remainder if a fresher
+        event sorts earlier — that re-check is what keeps batch firing
+        byte-identical to one-at-a-time popping.
+        """
+        heap = self._heap
+        if not heap:
+            return []
+        out: list[Event] = []
+        heappop = heapq.heappop
+        if horizon is None:
+            first = heap[0][0]
+            time, priority = first[0], first[1]
+        cancelled = 0
+        while heap:
+            key, event = heap[0]
+            if horizon is not None:
+                if key[0] >= horizon:
+                    break
+            elif key[0] != time or key[1] != priority:
+                break
+            if limit is not None and len(out) >= limit:
+                break
+            heappop(heap)
+            if event.cancelled:
+                cancelled += 1
+                continue
+            event.in_heap = False
+            out.append(event)
+        self._cancelled -= cancelled
+        self._live -= len(out)
+        if heap and heap[0][1].cancelled:
+            self._prune_top()
+        return out
+
+    def push_back(self, events: list[Event]) -> None:
+        """Return un-fired (still live) events from a batch to the heap.
+
+        Events keep their original keys, so ordering is exactly as if they
+        had never been popped.
+        """
+        heap = self._heap
+        heappush = heapq.heappush
+        for event in events:
+            if not event.cancelled:
+                event.in_heap = True
+                heappush(heap, (event.key, event))
+                self._live += 1

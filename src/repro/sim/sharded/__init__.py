@@ -1,0 +1,54 @@
+"""Sharded deterministic simulation (conservative lookahead).
+
+A single scenario is partitioned into per-rack (or per-component) event
+shards, each with its own :class:`~repro.sim.events.EventQueue`,
+synchronized conservatively: a shard may advance to
+``min(peer horizons) + lookahead`` where the lookahead is derived from the
+minimum cross-partition latency (fabric ToR/core hop, heartbeat interval,
+tier access latency).  Cross-shard interactions are timestamped messages
+drained at barrier epochs in deterministic ``(time, dst, src, seq)``
+order.
+
+Two execution surfaces share the machinery:
+
+* :func:`run_partitioned` runs :class:`ShardProgram` partitions — scenario
+  fragments with explicitly disjoint state — under serial, thread, or
+  process backends.  Every backend produces byte-identical merged output
+  (the serial backend *is* the reference; see ``tests/test_sharded.py``).
+* :class:`ShardedSimulator` is the drop-in engine for the entangled full
+  platform: lanes are tagged and accounted per rack, but the platform's
+  zero-latency global services weld every lane into one execution group,
+  so the drain order — and therefore every golden pin — is exactly the
+  serial engine's.
+"""
+
+from repro.sim.sharded.coordinator import (
+    GroupStats,
+    PartitionedRun,
+    ShardingError,
+    run_partitioned,
+)
+from repro.sim.sharded.engine import ShardedSimulator
+from repro.sim.sharded.messages import ShardMessage
+from repro.sim.sharded.partition import (
+    ShardPlan,
+    derive_lookahead,
+    rack_plan,
+    resolve_shards,
+)
+from repro.sim.sharded.program import ShardContext, ShardProgram
+
+__all__ = [
+    "GroupStats",
+    "PartitionedRun",
+    "ShardContext",
+    "ShardMessage",
+    "ShardPlan",
+    "ShardProgram",
+    "ShardedSimulator",
+    "ShardingError",
+    "derive_lookahead",
+    "rack_plan",
+    "resolve_shards",
+    "run_partitioned",
+]

@@ -1,0 +1,380 @@
+"""Conservative-lookahead coordinator for partitioned shard programs.
+
+Execution proceeds in barrier epochs.  Each epoch:
+
+1. All pending cross-shard messages (produced during the previous window)
+   are sorted by ``(time, dst, src, seq)`` and delivered — scheduled into
+   their destination shard's queue.  A message's arrival time is provably
+   at or beyond the previous horizon (sends must delay by >= lookahead),
+   so delivery never lands in a shard's past.
+2. The epoch window is ``[T, T + lookahead)`` where ``T`` is the minimum
+   next-event time across all groups.  Every group drains exactly the
+   events strictly below the horizon — events *at* the horizon (a kill
+   landing exactly on a barrier) belong to the next window, in every
+   backend, which is what keeps epoch boundaries a pure function of the
+   event timeline.
+3. Each group's window drain is independent of every peer's (that is the
+   lookahead guarantee), so groups may drain serially, on threads, or in
+   worker processes — the merged result is identical by construction.
+
+Outputs are per-shard ordered record streams merged by
+``(time, shard_id, emission_index)``; the merge key is total, so no
+backend, scheduling jitter, or OS can perturb it.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.sharded.messages import ShardMessage
+from repro.sim.sharded.partition import ShardPlan
+from repro.sim.sharded.program import ShardContext, ShardProgram
+
+
+class ShardingError(RuntimeError):
+    """Raised for protocol violations (lookahead too small, bad routing)."""
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Per-execution-group accounting, for shard-balance observability."""
+
+    shards: tuple[int, ...]
+    events: int
+    pushes: int
+    peak_heap_size: int
+    compactions: int
+    sent: int
+    received: int
+    records: int
+
+
+@dataclass(frozen=True)
+class PartitionedRun:
+    """Result of :func:`run_partitioned`.
+
+    ``records`` is the deterministically merged output stream; everything
+    else is diagnostics.  ``sharded_fraction`` is machine-independent:
+    the fraction of fired events that ran *outside* the largest execution
+    group — 0.0 when everything is welded into one group, approaching
+    ``1 - 1/n`` for n perfectly balanced groups.
+    """
+
+    records: tuple[tuple, ...]
+    group_stats: tuple[GroupStats, ...]
+    epochs: int
+    messages: int
+    events: int
+    lookahead_s: float
+    backend: str
+    n_shards: int
+    n_groups: int
+
+    @property
+    def sharded_fraction(self) -> float:
+        if self.events <= 0:
+            return 0.0
+        largest = max(stats.events for stats in self.group_stats)
+        return 1.0 - largest / self.events
+
+
+class _Group:
+    """One execution group: >= 1 shards sharing a simulator."""
+
+    def __init__(self, shards: Sequence[int], plan: ShardPlan,
+                 programs: Sequence[ShardProgram], seed: int) -> None:
+        self.shards = tuple(shards)
+        self.sim = Simulator(seed=seed)
+        self.contexts = {
+            shard: ShardContext(shard, self.sim, plan) for shard in shards
+        }
+        for shard in shards:
+            programs[shard].setup(self.contexts[shard])
+        self.fired = 0
+
+    def next_time(self) -> Optional[float]:
+        return self.sim._queue.peek_time()
+
+    def deliver(self, messages: Sequence[ShardMessage]) -> None:
+        for msg in messages:
+            ctx = self.contexts[msg.dst]
+            self.sim.call_at(
+                msg.time,
+                lambda ctx=ctx, msg=msg: ctx._dispatch(
+                    msg.kind, msg.src, msg.payload),
+                label=f"msg:{msg.kind}",
+            )
+
+    def drain(self, horizon: float) -> int:
+        """Fire every event strictly below *horizon*; return count fired.
+
+        Batched: one ``pop_batch`` per refill, with the same freshness
+        guard as :meth:`Simulator.step_batch` — if a callback schedules an
+        event that sorts before the rest of the batch, the remainder goes
+        back so the serial total order is preserved exactly.
+        """
+        sim = self.sim
+        queue = sim._queue
+        fired = 0
+        while True:
+            batch = queue.pop_batch(horizon)
+            if not batch:
+                break
+            n = len(batch)
+            i = 0
+            while i < n:
+                event = batch[i]
+                if not event.cancelled:
+                    sim._now = event.time
+                    callback = event.callback
+                    event.callback = None
+                    sim._event_count += 1
+                    if callback is not None:
+                        callback()
+                        fired += 1
+                    if i + 1 < n:
+                        top = queue.peek_key()
+                        if top is not None and top < batch[i + 1].key:
+                            queue.push_back(batch[i + 1:])
+                            break
+                i += 1
+        self.fired += fired
+        return fired
+
+    def outbox(self) -> list[ShardMessage]:
+        out: list[ShardMessage] = []
+        for shard in self.shards:
+            out.extend(self.contexts[shard]._take_outbox())
+        return out
+
+    def stats(self) -> GroupStats:
+        queue = self.sim._queue
+        contexts = [self.contexts[shard] for shard in self.shards]
+        return GroupStats(
+            shards=self.shards,
+            events=self.fired,
+            pushes=queue.pushes,
+            peak_heap_size=queue.peak_heap_size,
+            compactions=queue.compactions,
+            sent=sum(ctx.sent for ctx in contexts),
+            received=sum(ctx.received for ctx in contexts),
+            records=sum(len(ctx._records) for ctx in contexts),
+        )
+
+    def records(self) -> list[tuple]:
+        out: list[tuple] = []
+        for shard in self.shards:
+            out.extend(self.contexts[shard]._records)
+        return out
+
+
+def _epoch(group: _Group, messages: Sequence[ShardMessage],
+           horizon: float) -> tuple[Optional[float], list[ShardMessage], int]:
+    """One group's barrier epoch: deliver, drain, report."""
+    if messages:
+        group.deliver(messages)
+    fired = group.drain(horizon)
+    return group.next_time(), group.outbox(), fired
+
+
+def _worker_main(conn, shards, plan, programs, seed) -> None:
+    """Process-backend worker: owns one group, serves epoch commands."""
+    group = _Group(shards, plan, programs, seed)
+    try:
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "epoch":
+                _, messages, horizon = command
+                conn.send(_epoch(group, messages, horizon))
+            elif op == "next":
+                conn.send(group.next_time())
+            elif op == "finish":
+                conn.send((group.records(), group.stats()))
+                break
+            else:  # pragma: no cover - protocol guard
+                raise ShardingError(f"unknown worker command {op!r}")
+    finally:
+        conn.close()
+
+
+class _ProcessGroup:
+    """Coordinator-side proxy for a worker-process group."""
+
+    def __init__(self, shards, plan, programs, seed, ctx) -> None:
+        self.shards = tuple(shards)
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(child, tuple(shards), plan, programs, seed),
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+
+    def next_time(self) -> Optional[float]:
+        self._conn.send(("next",))
+        return self._conn.recv()
+
+    def start_epoch(self, messages, horizon) -> None:
+        self._conn.send(("epoch", messages, horizon))
+
+    def finish_epoch(self):
+        return self._conn.recv()
+
+    def finish(self):
+        self._conn.send(("finish",))
+        records, stats = self._conn.recv()
+        self._proc.join(timeout=30)
+        self._conn.close()
+        return records, stats
+
+
+def run_partitioned(
+    programs: Sequence[ShardProgram],
+    plan: ShardPlan,
+    *,
+    seed: int = 0,
+    backend: str = "serial",
+    until: Optional[float] = None,
+    max_epochs: Optional[int] = None,
+) -> PartitionedRun:
+    """Run one :class:`ShardProgram` per shard under conservative lookahead.
+
+    *backend* is ``"serial"`` (reference order), ``"threads"`` (shared
+    memory; no bytecode parallelism under the GIL but validates the
+    concurrent protocol), or ``"process"`` (real multi-core).  All three
+    produce byte-identical merged records — asserted in the test suite,
+    guaranteed by the barrier protocol described in the module docstring.
+    """
+    if len(programs) != plan.n_shards:
+        raise ShardingError(
+            f"{len(programs)} programs for {plan.n_shards} shards"
+        )
+    if backend not in ("serial", "threads", "process"):
+        raise ShardingError(f"unknown backend {backend!r}")
+
+    lookahead = plan.lookahead_s
+    if lookahead <= 0:
+        raise ShardingError(f"lookahead must be positive, got {lookahead}")
+    groups_spec = plan.groups()
+
+    if backend == "process" and len(groups_spec) > 1:
+        ctx = multiprocessing.get_context()
+        groups: list = [
+            _ProcessGroup(shards, plan, [programs[s] for s in range(
+                plan.n_shards)], seed, ctx)
+            for shards in groups_spec
+        ]
+        is_process = True
+    else:
+        groups = [
+            _Group(shards, plan, programs, seed) for shards in groups_spec
+        ]
+        is_process = False
+        pool = (ThreadPoolExecutor(max_workers=len(groups))
+                if backend == "threads" and len(groups) > 1 else None)
+
+    # Upper bound on drain horizon: events exactly at `until` still fire
+    # (matching Simulator.run), so the strict-< drain gets the next float.
+    cap = math.nextafter(until, math.inf) if until is not None else None
+
+    owner = {shard: idx for idx, shards in enumerate(groups_spec)
+             for shard in shards}
+    next_times: list[Optional[float]] = [g.next_time() for g in groups]
+    pending: list[ShardMessage] = []
+    epochs = 0
+    total_fired = 0
+    total_messages = 0
+
+    try:
+        while True:
+            if max_epochs is not None and epochs >= max_epochs:
+                break
+            # Earliest work anywhere: a queued event or an undelivered
+            # message (delivery itself never fires anything, so the
+            # estimate min(queue head, earliest message) is exact).
+            candidates = [t for t in next_times if t is not None]
+            candidates.extend(msg.time for msg in pending)
+            if not candidates:
+                break
+            window_start = min(candidates)
+            if until is not None and window_start > until:
+                break
+            horizon = window_start + lookahead
+            if cap is not None and horizon > cap:
+                horizon = cap
+
+            pending.sort()
+            inbound: dict[int, list[ShardMessage]] = {}
+            for msg in pending:
+                inbound.setdefault(owner[msg.dst], []).append(msg)
+            total_messages += len(pending)
+            pending = []
+
+            # Only groups with work below the horizon (or mail) need a
+            # round-trip this epoch; the skip set is derived purely from
+            # deterministic state, so it is backend-independent.
+            active = [
+                idx for idx in range(len(groups))
+                if idx in inbound
+                or (next_times[idx] is not None
+                    and next_times[idx] < horizon)
+            ]
+
+            if is_process:
+                for idx in active:
+                    groups[idx].start_epoch(inbound.get(idx, ()), horizon)
+                results = [(idx, groups[idx].finish_epoch())
+                           for idx in active]
+            elif pool is not None:
+                futures = [
+                    (idx, pool.submit(_epoch, groups[idx],
+                                      inbound.get(idx, ()), horizon))
+                    for idx in active
+                ]
+                results = [(idx, fut.result()) for idx, fut in futures]
+            else:
+                results = [
+                    (idx, _epoch(groups[idx], inbound.get(idx, ()), horizon))
+                    for idx in active
+                ]
+
+            for idx, (next_time, outbox, fired) in results:
+                next_times[idx] = next_time
+                pending.extend(outbox)
+                total_fired += fired
+            epochs += 1
+    finally:
+        if not is_process and backend == "threads" and pool is not None:
+            pool.shutdown(wait=True)
+
+    if is_process:
+        collected = [group.finish() for group in groups]
+        records_nested = [records for records, _ in collected]
+        stats = tuple(stats for _, stats in collected)
+    else:
+        records_nested = [group.records() for group in groups]
+        stats = tuple(group.stats() for group in groups)
+
+    merged: list[tuple] = []
+    for group_records in records_nested:
+        merged.extend(group_records)
+    merged.sort(key=lambda record: (record[0], record[1], record[2]))
+
+    return PartitionedRun(
+        records=tuple(merged),
+        group_stats=stats,
+        epochs=epochs,
+        messages=total_messages,
+        events=total_fired,
+        lookahead_s=lookahead,
+        backend=backend,
+        n_shards=plan.n_shards,
+        n_groups=len(groups_spec),
+    )

@@ -1,0 +1,98 @@
+"""Lane-tagged engine for the entangled full platform.
+
+The full Canary platform is *globally* entangled: the controller, the
+storage router, the metrics sink, and the database observe (and mutate)
+state from every rack on every event, at zero virtual latency.  A
+conservative-lookahead partition of such a scenario welds every lane into
+one execution group — there is no positive lookahead between components
+that interact instantaneously — so the sharded run degenerates, *by
+design*, to the exact serial total order.  That degeneration is the
+byte-identity guarantee: ``shards>1`` on the platform produces the same
+event sequence, the same RNG draws, and the same ``RunSummary`` as
+``shards=1``, which tests and the CI smoke job assert.
+
+What ``shards>1`` buys on the platform today is observability: every
+scheduling site carries a lane hint (the node or rack the event belongs
+to), and the engine accounts events per shard lane.  The resulting lane
+balance is exactly the measurement needed to judge whether a scenario
+*would* decompose profitably — the parallel path for decomposed
+workloads is :func:`repro.sim.sharded.coordinator.run_partitioned`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.sharded.partition import ShardPlan
+
+
+class ShardedSimulator(Simulator):
+    """Drop-in :class:`Simulator` with per-lane (per-shard) accounting.
+
+    Scheduling, cancellation, and the run loop are inherited unchanged —
+    the drain order is the serial engine's, so golden pins cannot move.
+    The only addition is the lane counters fed by the ``shard=`` hints
+    that platform components attach at their scheduling sites.
+    """
+
+    def __init__(self, seed: int = 0, *, plan: ShardPlan) -> None:
+        super().__init__(seed)
+        self.plan = plan
+        self._lane_events = [0] * plan.n_shards
+        self._untagged = 0
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+        shard: Optional[str] = None,
+    ) -> EventHandle:
+        if shard is None:
+            self._untagged += 1
+        else:
+            self._lane_events[self.plan.shard_of(shard)] += 1
+        return super().call_at(time, callback, priority=priority,
+                               label=label)
+
+    def call_in(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+        shard: Optional[str] = None,
+    ) -> EventHandle:
+        if shard is None:
+            self._untagged += 1
+        else:
+            self._lane_events[self.plan.shard_of(shard)] += 1
+        return super().call_in(delay, callback, priority=priority,
+                               label=label)
+
+    # -- lane accounting --------------------------------------------------
+    @property
+    def lane_events(self) -> tuple[int, ...]:
+        """Events scheduled per shard lane (tagged sites only)."""
+        return tuple(self._lane_events)
+
+    @property
+    def untagged_events(self) -> int:
+        """Events scheduled without a lane hint (global services)."""
+        return self._untagged
+
+    @property
+    def lane_balance(self) -> float:
+        """1 - (largest lane / tagged events); 0.0 when one lane dominates.
+
+        The machine-independent shard-balance figure: for n perfectly
+        balanced lanes it approaches ``1 - 1/n``.
+        """
+        tagged = sum(self._lane_events)
+        if tagged <= 0:
+            return 0.0
+        return 1.0 - max(self._lane_events) / tagged

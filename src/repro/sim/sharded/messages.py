@@ -1,0 +1,31 @@
+"""Timestamped inter-shard messages.
+
+Cross-shard interactions (remote checkpoint writes, replication flows,
+heartbeats, placements) never touch a peer shard's state directly — they
+become :class:`ShardMessage` records carried to the next barrier epoch and
+delivered in deterministic ``(time, dst, src, seq)`` order.  The sort key
+is total: ``seq`` is a per-source counter, so two messages from one shard
+can never tie, and ties across shards break on the (unique) source id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class ShardMessage:
+    """One cross-shard interaction, ordered by ``(time, dst, src, seq)``.
+
+    ``kind`` and ``payload`` are excluded from ordering; payloads must be
+    plain picklable data (they cross process boundaries under the process
+    backend — callbacks never do).
+    """
+
+    time: float
+    dst: int
+    src: int
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=())

@@ -1,0 +1,186 @@
+"""Topology-driven partitioning and conservative-lookahead derivation.
+
+The partitioner maps scenario lanes (racks, and the nodes inside them) to
+shard ids.  The lookahead — how far a shard may run past the global barrier
+before it could possibly be affected by a peer — is the minimum latency any
+cross-partition interaction can have: a fabric ToR/core hop takes
+``2 * hop_latency_s`` one way, a detection heartbeat arrives at most every
+``heartbeat_interval_s``, and a remote storage tier answers no faster than
+its access latency.  Any cross-shard message must therefore carry a delay of
+at least the lookahead, which is what makes the conservative window drain
+safe: events inside ``[T, T + lookahead)`` can only be caused by state that
+was already visible at the last barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Union
+
+
+#: Fallback lookahead when no scenario timing is available: well below any
+#: modelled network/heartbeat latency, far above float granularity.
+DEFAULT_LOOKAHEAD_S = 1e-4
+
+
+def derive_lookahead(
+    *,
+    network=None,
+    detection=None,
+    tiers: Iterable = (),
+    default: float = DEFAULT_LOOKAHEAD_S,
+) -> float:
+    """Minimum cross-partition latency from the scenario's own config.
+
+    Accepts the scenario's :class:`~repro.network.config.NetworkModelConfig`,
+    :class:`~repro.detection.monitor.DetectionConfig`, and storage tier
+    specs; any of them may be None/empty.  Returns the smallest latency a
+    cross-shard interaction can exhibit, floored at *default*.
+    """
+    candidates: list[float] = []
+    if network is not None and getattr(network, "enabled", True):
+        hop = getattr(network, "hop_latency_s", None)
+        if hop:
+            # ToR + core hop: the fastest a cross-rack flow can deliver.
+            candidates.append(2.0 * hop)
+    if detection is not None:
+        interval = getattr(detection, "heartbeat_interval_s", None)
+        if interval:
+            candidates.append(interval)
+    for tier in tiers or ():
+        access = (getattr(tier, "access_latency_s", None)
+                  or getattr(tier, "write_latency_s", None))
+        if access:
+            candidates.append(access)
+    live = [value for value in candidates if value > 0]
+    if not live:
+        return default
+    return max(min(live), default)
+
+
+def resolve_shards(requested: Union[int, str], num_racks: int) -> int:
+    """Resolve a ``shards`` request (int or ``"auto"``) to a shard count.
+
+    ``"auto"`` follows the topology: one shard per rack.  Integers are
+    clamped to ``[1, num_racks]`` — more shards than racks would leave
+    empty partitions paying barrier costs for nothing.
+    """
+    if requested == "auto":
+        return max(1, int(num_racks))
+    count = int(requested)
+    if count < 1:
+        raise ValueError(f"shards must be >= 1 or 'auto', got {requested!r}")
+    return min(count, max(1, int(num_racks)))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Assignment of scenario lanes to shards, plus the synchronization gap.
+
+    Attributes:
+        n_shards: Number of shards (1 means the plain serial engine).
+        lookahead_s: Conservative window width; every cross-shard message
+            must be delayed by at least this much.
+        assignments: Lane key (rack or node name) → shard id.
+        welds: Pairs of shard ids that share entangled state and must
+            execute in one group (same event queue, serial total order).
+            The full platform's global services weld *every* shard; a
+            decomposed shard program welds none.
+        default_shard: Shard for lanes absent from *assignments*.
+    """
+
+    n_shards: int
+    lookahead_s: float = DEFAULT_LOOKAHEAD_S
+    assignments: Mapping[str, int] = field(default_factory=dict)
+    welds: frozenset = frozenset()
+    default_shard: int = 0
+
+    def shard_of(self, lane: Optional[str]) -> int:
+        """Shard id for a lane key (rack/node name); default when unknown."""
+        if lane is None:
+            return self.default_shard
+        shard = self.assignments.get(lane)
+        if shard is not None:
+            return shard
+        # Node keys fall back to their rack's assignment via the same
+        # round-robin the cluster topology uses (node-07 -> rack index).
+        if lane.startswith("node-"):
+            try:
+                index = int(lane.rsplit("-", 1)[1])
+            except ValueError:
+                return self.default_shard
+            return index % self.n_shards
+        return self.default_shard
+
+    def groups(self) -> tuple[tuple[int, ...], ...]:
+        """Execution groups: connected components of the weld graph.
+
+        Shards in one group share a simulator (serial order among them);
+        distinct groups are the units of real parallelism.  Sorted for
+        determinism: groups by smallest member, members ascending.
+        """
+        parent = list(range(self.n_shards))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in self.welds:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+        members: dict[int, list[int]] = {}
+        for shard in range(self.n_shards):
+            members.setdefault(find(shard), []).append(shard)
+        return tuple(
+            tuple(sorted(group))
+            for _, group in sorted(members.items())
+        )
+
+    def welded(self) -> "ShardPlan":
+        """A copy whose shards all execute in one group (serial order).
+
+        This is what the entangled full platform uses: lane accounting is
+        preserved, but every event shares one queue, so the total order —
+        and every golden pin — is exactly the serial engine's.
+        """
+        welds = frozenset(
+            (shard, shard + 1) for shard in range(self.n_shards - 1)
+        )
+        return ShardPlan(
+            n_shards=self.n_shards,
+            lookahead_s=self.lookahead_s,
+            assignments=self.assignments,
+            welds=welds,
+            default_shard=self.default_shard,
+        )
+
+
+def rack_plan(
+    num_nodes: int,
+    num_racks: int = 4,
+    shards: Union[int, str] = "auto",
+    *,
+    lookahead_s: float = DEFAULT_LOOKAHEAD_S,
+    weld_all: bool = False,
+) -> ShardPlan:
+    """Per-rack plan matching :meth:`repro.cluster.topology.Topology.rack_for`.
+
+    Racks are assigned round-robin to shards (rack index mod shard count),
+    and every node maps to its rack's shard.  With *weld_all* the plan runs
+    as one execution group — the entangled-platform mode.
+    """
+    count = resolve_shards(shards, num_racks)
+    assignments: dict[str, int] = {}
+    for rack in range(num_racks):
+        assignments[f"rack-{rack}"] = rack % count
+    for node in range(num_nodes):
+        assignments[f"node-{node:02d}"] = (node % num_racks) % count
+    plan = ShardPlan(
+        n_shards=count,
+        lookahead_s=lookahead_s,
+        assignments=assignments,
+    )
+    return plan.welded() if weld_all else plan

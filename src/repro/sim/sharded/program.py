@@ -1,0 +1,137 @@
+"""Shard programs: the unit of decomposed, parallel-capable simulation.
+
+A :class:`ShardProgram` owns one partition's state and event logic.  Its
+only window to the outside world is the :class:`ShardContext`: local
+scheduling (``call_at`` / ``call_in``), named RNG streams (shard-qualified
+so every backend draws identical sequences), deterministic output records
+(``emit``), and cross-shard sends (``send``) that must respect the plan's
+lookahead.  Programs must be picklable (module-level classes, plain-data
+constructor args) so the process backend can ship them to workers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.sharded.messages import ShardMessage
+from repro.sim.sharded.partition import ShardPlan
+
+
+class ShardContext:
+    """One shard's handle onto its (possibly shared) simulator.
+
+    In a welded group several contexts share one simulator; the context is
+    what keeps their identities separate — per-shard output stream, per-
+    shard message sequence counter, shard-qualified RNG stream names.
+    """
+
+    def __init__(self, shard_id: int, sim, plan: ShardPlan) -> None:
+        self.shard_id = shard_id
+        self.sim = sim
+        self.plan = plan
+        self._handlers: dict[str, Callable[[int, Any], None]] = {}
+        self._outbox: list[ShardMessage] = []
+        self._records: list[tuple] = []
+        self._seq = 0
+        self.sent = 0
+        self.received = 0
+
+    # -- local scheduling ------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def call_at(self, time: float, callback, *, priority: int = 0,
+                label: str = "", shard: Optional[str] = None):
+        # ``shard`` lane hints are moot here: the context IS one shard.
+        return self.sim.call_at(time, callback, priority=priority,
+                                label=label)
+
+    def call_in(self, delay: float, callback, *, priority: int = 0,
+                label: str = "", shard: Optional[str] = None):
+        return self.sim.call_in(delay, callback, priority=priority,
+                                label=label)
+
+    def stream(self, name: str):
+        """Shard-qualified named RNG stream.
+
+        The qualifier makes the stream name — and therefore the seed
+        derivation — identical across serial, thread, and process
+        backends, whether or not shards share a simulator.
+        """
+        return self.sim.rng.stream(f"shard{self.shard_id}:{name}")
+
+    # -- deterministic output --------------------------------------------
+    def emit(self, *record: Any) -> None:
+        """Append one output record to this shard's ordered stream.
+
+        The coordinator merges per-shard streams by
+        ``(time, shard_id, emission_index)`` — a total order that no
+        backend can perturb, because each stream's internal order is fixed
+        by the shard's own (deterministic) event order.
+        """
+        self._records.append((self.sim.now, self.shard_id,
+                              len(self._records)) + record)
+
+    # -- cross-shard messaging -------------------------------------------
+    def on(self, kind: str, handler: Callable[[int, Any], None]) -> None:
+        """Register ``handler(src_shard, payload)`` for message *kind*."""
+        self._handlers[kind] = handler
+
+    def send(self, dst: int, delay: float, kind: str,
+             payload: Any = ()) -> None:
+        """Send *payload* to shard *dst*, arriving after *delay* seconds.
+
+        The delay must be at least the plan's lookahead — that bound is
+        exactly what makes the conservative window drain safe, so it is
+        enforced, not assumed.
+        """
+        from repro.sim.sharded.coordinator import ShardingError
+
+        if delay < self.plan.lookahead_s:
+            raise ShardingError(
+                f"cross-shard send {kind!r} from shard {self.shard_id} to "
+                f"{dst} has delay {delay:.3e}s below the lookahead "
+                f"{self.plan.lookahead_s:.3e}s"
+            )
+        if not 0 <= dst < self.plan.n_shards:
+            raise ShardingError(f"unknown destination shard {dst}")
+        self._outbox.append(ShardMessage(
+            time=self.sim.now + delay,
+            dst=dst,
+            src=self.shard_id,
+            seq=self._seq,
+            kind=kind,
+            payload=payload,
+        ))
+        self._seq += 1
+        self.sent += 1
+
+    def _dispatch(self, kind: str, src: int, payload: Any) -> None:
+        handler = self._handlers.get(kind)
+        if handler is None:
+            from repro.sim.sharded.coordinator import ShardingError
+
+            raise ShardingError(
+                f"shard {self.shard_id} has no handler for message kind "
+                f"{kind!r}"
+            )
+        self.received += 1
+        handler(src, payload)
+
+    def _take_outbox(self) -> list[ShardMessage]:
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+
+class ShardProgram:
+    """Base class for one partition of a decomposed scenario.
+
+    Subclasses override :meth:`setup` to build their state and schedule
+    their initial events, and register message handlers via ``ctx.on``.
+    State must be reachable only from this program — cross-shard effects
+    go through ``ctx.send``.
+    """
+
+    def setup(self, ctx: ShardContext) -> None:
+        raise NotImplementedError

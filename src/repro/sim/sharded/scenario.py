@@ -1,0 +1,193 @@
+"""A fabric-heavy multi-rack shard scenario (bench + determinism tests).
+
+Each rack is one shard: a :class:`RackProgram` owning its own mini
+cluster and :class:`~repro.network.fabric.FlowNetwork` instance, driving
+a Poisson-ish stream of intra-rack transfers.  A fraction of completed
+flows replicate to the next rack — a cross-shard message whose delay is
+the cross-rack fabric latency (>= lookahead).  Every rack also heartbeats
+a monitor shard on a fixed period, exercising steady low-rate cross-shard
+traffic alongside the bursty replication.
+
+This is the scenario behind ``BENCH_shard.json``: per-rack state is
+genuinely disjoint (each shard's fabric, RNG streams, and flow bookkeeping
+are its own), so the per-rack groups run truly in parallel under the
+process backend, while the serial backend defines the byte-identical
+reference order.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import Topology
+from repro.network.config import NetworkModelConfig
+from repro.sim.sharded.partition import ShardPlan
+from repro.sim.sharded.program import ShardContext, ShardProgram
+from repro.storage.tiers import TierRegistry
+
+#: Cross-rack replication latency; also the plan lookahead (it is the
+#: minimum cross-partition latency in this scenario).
+CROSS_RACK_DELAY_S = 1e-3
+HEARTBEAT_PERIOD_S = 10e-3
+
+
+class RackProgram(ShardProgram):
+    """One rack's shard: local fabric + workload + replication."""
+
+    def __init__(
+        self,
+        rack: int,
+        num_racks: int,
+        *,
+        nodes_per_rack: int = 4,
+        requests: int = 200,
+        mean_interarrival_s: float = 0.4e-3,
+        mean_size_bytes: float = 4e6,
+        replicate_every: int = 3,
+        duration_s: float = 0.25,
+    ) -> None:
+        self.rack = rack
+        self.num_racks = num_racks
+        self.nodes_per_rack = nodes_per_rack
+        self.requests = requests
+        self.mean_interarrival_s = mean_interarrival_s
+        self.mean_size_bytes = mean_size_bytes
+        self.replicate_every = replicate_every
+        self.duration_s = duration_s
+
+    def setup(self, ctx: ShardContext) -> None:
+        from repro.network.fabric import FlowNetwork
+
+        self._ctx = ctx
+        cluster = Cluster(
+            self.nodes_per_rack, topology=Topology(num_racks=1)
+        )
+        self._nodes = [node.node_id for node in cluster.nodes]
+        self._network = FlowNetwork(
+            ctx,
+            cluster=cluster,
+            tiers=TierRegistry(),
+            config=NetworkModelConfig(),
+        )
+        self._arrivals = ctx.stream("arrivals")
+        self._completed = 0
+        ctx.on("replicate", self._on_replicate)
+
+        # Pre-draw the whole arrival schedule in one vectorized pass: the
+        # draw order is fixed at setup, so no backend can perturb it, and
+        # the hot loop never pays the per-call numpy scalar overhead.
+        n = self.requests
+        gaps = self._arrivals.exponential(self.mean_interarrival_s, size=n)
+        sizes = self._arrivals.exponential(self.mean_size_bytes, size=n)
+        pairs = self._arrivals.integers(
+            0, self.nodes_per_rack, size=(n, 2))
+        time = 0.0
+        for i in range(n):
+            time += float(gaps[i])
+            src = self._nodes[int(pairs[i, 0])]
+            dst = self._nodes[(int(pairs[i, 1]) + 1) % self.nodes_per_rack
+                              if src == self._nodes[int(pairs[i, 1])]
+                              else int(pairs[i, 1])]
+            ctx.call_at(
+                time,
+                lambda i=i, src=src, dst=dst, size=float(sizes[i]):
+                    self._start_transfer(i, src, dst, size),
+                label=f"arrival:{self.rack}:{i}",
+            )
+        self._schedule_heartbeat(0)
+
+    def _schedule_heartbeat(self, beat: int) -> None:
+        at = (beat + 1) * HEARTBEAT_PERIOD_S
+        if at > self.duration_s:
+            return
+        self._ctx.call_at(
+            at,
+            lambda beat=beat: self._heartbeat(beat),
+            label=f"hb:{self.rack}:{beat}",
+        )
+
+    def _heartbeat(self, beat: int) -> None:
+        self._ctx.send(
+            self.num_racks, CROSS_RACK_DELAY_S, "hb", (self.rack, beat)
+        )
+        self._schedule_heartbeat(beat + 1)
+
+    def _start_transfer(self, index: int, src: str, dst: str,
+                        size: float) -> None:
+        self._network.transfer(
+            src, dst, size,
+            on_complete=lambda index=index, size=size:
+                self._on_complete(index, size),
+            label=f"xfer:{self.rack}:{index}",
+        )
+
+    def _on_complete(self, index: int, size: float) -> None:
+        self._completed += 1
+        self._ctx.emit("flow", index, round(size))
+        if self.replicate_every and index % self.replicate_every == 0:
+            peer = (self.rack + 1) % self.num_racks
+            if peer != self.rack:
+                self._ctx.send(
+                    peer, CROSS_RACK_DELAY_S, "replicate",
+                    (self.rack, index, round(size)),
+                )
+
+    def _on_replicate(self, src: int, payload) -> None:
+        src_rack, index, size = payload
+        # Ingest the replica through this rack's fabric: gateway node
+        # (node 0) streams it to a deterministic target node.
+        target = self._nodes[index % self.nodes_per_rack]
+        if target == self._nodes[0]:
+            target = self._nodes[1 % self.nodes_per_rack]
+        self._network.transfer(
+            self._nodes[0], target, float(size),
+            on_complete=lambda src_rack=src_rack, index=index:
+                self._ctx.emit("replica", src_rack, index),
+            label=f"replica:{src_rack}:{index}",
+        )
+
+
+class MonitorProgram(ShardProgram):
+    """Global monitor shard: collects heartbeats from every rack."""
+
+    def __init__(self, num_racks: int) -> None:
+        self.num_racks = num_racks
+
+    def setup(self, ctx: ShardContext) -> None:
+        self._ctx = ctx
+        self._beats = [0] * self.num_racks
+        ctx.on("hb", self._on_heartbeat)
+
+    def _on_heartbeat(self, src: int, payload) -> None:
+        rack, beat = payload
+        self._beats[rack] = beat + 1
+        self._ctx.emit("hb", rack, beat)
+
+
+def build_scenario(
+    num_racks: int = 4,
+    *,
+    nodes_per_rack: int = 4,
+    requests_per_rack: int = 200,
+    welded: bool = False,
+    **rack_kwargs,
+) -> tuple[list[ShardProgram], ShardPlan]:
+    """Programs + plan for the multi-rack scenario.
+
+    Shards ``0..num_racks-1`` are the racks; shard ``num_racks`` is the
+    monitor.  With ``welded=True`` every shard shares one simulator — the
+    serial-order reference used by the identity tests.
+    """
+    programs: list[ShardProgram] = [
+        RackProgram(rack, num_racks, nodes_per_rack=nodes_per_rack,
+                    requests=requests_per_rack, **rack_kwargs)
+        for rack in range(num_racks)
+    ]
+    programs.append(MonitorProgram(num_racks))
+    assignments = {f"rack-{rack}": rack for rack in range(num_racks)}
+    assignments["monitor"] = num_racks
+    plan = ShardPlan(
+        n_shards=num_racks + 1,
+        lookahead_s=CROSS_RACK_DELAY_S,
+        assignments=assignments,
+    )
+    return programs, plan.welded() if welded else plan

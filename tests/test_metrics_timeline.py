@@ -82,3 +82,49 @@ class TestTimeline:
         text = render_timeline(platform.metrics, limit=10)
         assert len(text.splitlines()) <= 10
         assert "submitted" in text
+
+
+class TestIncrementalOrdering:
+    """The k-way-merge timeline must match the old sort-everything output."""
+
+    def test_merge_matches_global_sort(self):
+        platform, _ = run_tiny_job(
+            strategy="canary", error_rate=0.4, num_functions=20, seed=2,
+        )
+        merged = build_timeline(platform.metrics)
+        # Reference: the pre-refactor implementation, flatten + sort.
+        from repro.metrics.timeline import _trace_events
+
+        flattened = []
+        for trace in platform.metrics.traces.values():
+            flattened.extend(_trace_events(trace))
+        assert merged == sorted(flattened)
+
+    def test_timeline_is_sorted(self):
+        platform, _ = run_tiny_job(
+            strategy="retry", error_rate=0.3, num_functions=15, seed=4,
+            refailure_rate=0.0,
+        )
+        events = build_timeline(platform.metrics)
+        assert events == sorted(events)
+        assert len(events) >= 30  # submitted+ready+completed per function
+
+    def test_per_trace_streams_are_sorted(self):
+        platform, _ = run_tiny_job(
+            strategy="canary", error_rate=0.5, num_functions=10, seed=6,
+        )
+        from repro.metrics.timeline import _trace_events
+
+        for trace in platform.metrics.traces.values():
+            events = _trace_events(trace)
+            assert events == sorted(events)
+
+    def test_iter_function_timeline_matches_full_timeline_slice(self):
+        platform, _ = run_tiny_job(
+            strategy="canary", error_rate=0.4, num_functions=12, seed=1,
+        )
+        full = build_timeline(platform.metrics)
+        some_id = next(iter(platform.metrics.traces))
+        via_iter = list(iter_function_timeline(platform.metrics, some_id))
+        via_filter = [e for e in full if e.function_id == some_id]
+        assert via_iter == via_filter

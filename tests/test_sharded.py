@@ -1,0 +1,323 @@
+"""Sharded simulation: conservative lookahead, backends, byte-identity.
+
+The determinism bar (PR 1 / PR 4 precedent): every execution mode —
+serial reference, welded single group, threads, worker processes — must
+produce *byte-identical* output.  The edge cases the ISSUE names get
+dedicated tests: an event landing exactly on a barrier epoch, flows
+finishing at the same virtual time in two shards, and ``run_cells``
+fan-out of sharded cells.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import run_cells
+from repro.experiments.runner import run_scenario, run_traced
+from repro.sim.sharded import (
+    ShardPlan,
+    ShardingError,
+    derive_lookahead,
+    rack_plan,
+    resolve_shards,
+    run_partitioned,
+)
+from repro.sim.sharded.program import ShardProgram
+from repro.sim.sharded.scenario import build_scenario
+
+BACKENDS = ("serial", "threads", "process")
+
+
+# ---------------------------------------------------------------------------
+# Plan / partitioner
+# ---------------------------------------------------------------------------
+class TestPlan:
+    def test_resolve_auto_is_one_shard_per_rack(self):
+        assert resolve_shards("auto", 4) == 4
+        assert resolve_shards("auto", 1) == 1
+
+    def test_resolve_clamps_to_rack_count(self):
+        assert resolve_shards(16, 4) == 4
+        assert resolve_shards(2, 4) == 2
+
+    def test_resolve_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_shards(0, 4)
+
+    def test_rack_plan_matches_topology_round_robin(self):
+        plan = rack_plan(8, 4, 4)
+        # Topology.rack_for(i) == f"rack-{i % num_racks}"
+        assert plan.shard_of("node-00") == plan.shard_of("rack-0")
+        assert plan.shard_of("node-05") == plan.shard_of("rack-1")
+        assert plan.shard_of("node-07") == plan.shard_of("rack-3")
+
+    def test_unwelded_plan_has_one_group_per_shard(self):
+        plan = rack_plan(8, 4, 4)
+        assert plan.groups() == ((0,), (1,), (2,), (3,))
+
+    def test_welded_plan_is_one_group(self):
+        plan = rack_plan(8, 4, 4, weld_all=True)
+        assert plan.groups() == ((0, 1, 2, 3),)
+
+    def test_partial_welds_union_find(self):
+        plan = ShardPlan(n_shards=4, welds=frozenset({(0, 2), (2, 3)}))
+        assert plan.groups() == ((0, 2, 3), (1,))
+
+    def test_derive_lookahead_takes_the_minimum_latency(self):
+        from repro.detection import DetectionConfig
+        from repro.network.config import NetworkModelConfig
+
+        network = NetworkModelConfig()  # hop_latency_s = 50us -> 100us
+        detection = DetectionConfig()   # heartbeat interval ~ seconds
+        assert derive_lookahead(network=network, detection=detection) == (
+            2 * network.hop_latency_s
+        )
+
+    def test_derive_lookahead_default_when_nothing_configured(self):
+        assert derive_lookahead() == pytest.approx(1e-4)
+
+
+# ---------------------------------------------------------------------------
+# Shard-program backends: byte identity
+# ---------------------------------------------------------------------------
+class TestBackendIdentity:
+    def _run(self, backend, **kwargs):
+        programs, plan = build_scenario(
+            num_racks=4, requests_per_rack=40, **kwargs
+        )
+        return run_partitioned(programs, plan, seed=11, backend=backend)
+
+    def test_all_backends_byte_identical(self):
+        reference = self._run("serial")
+        assert reference.records  # non-trivial
+        for backend in BACKENDS[1:]:
+            run = self._run(backend)
+            assert run.records == reference.records, backend
+            assert run.events == reference.events, backend
+
+    def test_welded_single_group_matches_decomposed(self):
+        decomposed = self._run("serial")
+        welded = self._run("serial", welded=True)
+        assert welded.n_groups == 1
+        assert decomposed.n_groups == 5
+        assert welded.records == decomposed.records
+
+    def test_cross_shard_messages_flow(self):
+        run = self._run("serial")
+        assert run.messages > 0
+        assert any(record[3] == "replica" for record in run.records)
+        assert any(record[3] == "hb" for record in run.records)
+
+    def test_sharded_fraction_is_meaningful(self):
+        decomposed = self._run("serial")
+        welded = self._run("serial", welded=True)
+        assert decomposed.sharded_fraction > 0.5
+        assert welded.sharded_fraction == 0.0
+
+    def test_send_below_lookahead_rejected(self):
+        class Impatient(ShardProgram):
+            def setup(self, ctx):
+                ctx.call_at(0.0, lambda: ctx.send(1, 0.0, "now"))
+
+        class Idle(ShardProgram):
+            def setup(self, ctx):
+                ctx.on("now", lambda src, payload: None)
+
+        plan = ShardPlan(n_shards=2, lookahead_s=1e-3)
+        with pytest.raises(ShardingError, match="below the lookahead"):
+            run_partitioned([Impatient(), Idle()], plan, backend="serial")
+
+
+# ---------------------------------------------------------------------------
+# Edge cases the ISSUE names
+# ---------------------------------------------------------------------------
+class KillOnBarrier(ShardProgram):
+    """Schedules work on an integer grid so a kill lands exactly on an
+    epoch boundary (t = first event + k * lookahead)."""
+
+    def __init__(self, shard, peer):
+        self.shard = shard
+        self.peer = peer
+
+    def setup(self, ctx):
+        ctx.on("ping", lambda src, payload: ctx.emit("ping", src, payload))
+        # First event at t=1.0 makes the first window [1.0, 2.0) with the
+        # 1.0s lookahead below; the kill at exactly t=2.0 is ON the
+        # barrier: strictly outside window 0, first event of window 1.
+        handle_box = {}
+
+        def arm():
+            handle_box["h"] = ctx.call_at(
+                5.0, lambda: ctx.emit("should-not-fire")
+            )
+            ctx.emit("armed")
+
+        def kill():
+            handle_box["h"].cancel()
+            ctx.emit("killed-on-barrier")
+            ctx.send(self.peer, 1.0, "ping", self.shard)
+
+        ctx.call_at(1.0, arm)
+        ctx.call_at(2.0, kill)
+
+
+class TestBarrierEdgeCases:
+    def test_kill_exactly_on_barrier_epoch(self):
+        reference = None
+        for backend in BACKENDS:
+            plan = ShardPlan(n_shards=2, lookahead_s=1.0)
+            run = run_partitioned(
+                [KillOnBarrier(0, 1), KillOnBarrier(1, 0)],
+                plan, backend=backend,
+            )
+            kinds = [record[3] for record in run.records]
+            assert "should-not-fire" not in kinds
+            assert kinds.count("killed-on-barrier") == 2
+            assert kinds.count("ping") == 2
+            if reference is None:
+                reference = run.records
+            else:
+                assert run.records == reference, backend
+
+    def test_same_virtual_time_finish_in_two_shards(self):
+        class TiedFinish(ShardProgram):
+            def __init__(self, shard):
+                self.shard = shard
+
+            def setup(self, ctx):
+                # Both shards finish a "flow" at exactly t=3.0; the merged
+                # stream must order them by shard id, every backend.
+                ctx.call_at(3.0, lambda: ctx.emit("finish", self.shard))
+
+        reference = None
+        for backend in BACKENDS:
+            plan = ShardPlan(n_shards=2, lookahead_s=0.5)
+            run = run_partitioned(
+                [TiedFinish(0), TiedFinish(1)], plan, backend=backend
+            )
+            assert [r[:2] for r in run.records] == [(3.0, 0), (3.0, 1)]
+            if reference is None:
+                reference = run.records
+            else:
+                assert run.records == reference, backend
+
+
+# ---------------------------------------------------------------------------
+# Full platform: shards=N is byte-identical to shards=1
+# ---------------------------------------------------------------------------
+SCENARIO = ScenarioConfig(
+    workload="dl-training",
+    error_rate=0.15,
+    num_functions=20,
+    node_failure_count=1,
+)
+
+
+class TestPlatformIdentity:
+    def test_summary_byte_identical_across_shards(self):
+        base = asdict(run_scenario(SCENARIO, seed=5))
+        for shards in (2, 4, "auto"):
+            sharded = asdict(
+                run_scenario(SCENARIO.with_(shards=shards), seed=5)
+            )
+            assert sharded == base, f"shards={shards}"
+
+    def test_summary_json_bytes_identical(self):
+        serial = json.dumps(asdict(run_scenario(SCENARIO, seed=1)),
+                            sort_keys=True)
+        sharded = json.dumps(
+            asdict(run_scenario(SCENARIO.with_(shards=4), seed=1)),
+            sort_keys=True,
+        )
+        assert serial == sharded
+
+    def test_trace_spans_identical_across_shards(self):
+        serial = run_traced(SCENARIO, seed=2)
+        sharded = run_traced(SCENARIO.with_(shards=4), seed=2)
+        assert serial.spans == sharded.spans
+        assert serial.summary == sharded.summary
+
+    def test_rng_stream_creation_order_pinned(self):
+        from repro.experiments.runner import _run_platform
+
+        serial = _run_platform(SCENARIO, 3)
+        sharded = _run_platform(SCENARIO.with_(shards=4), 3)
+        assert (serial.sim.rng.creation_order()
+                == sharded.sim.rng.creation_order())
+
+    def test_lane_accounting_populated(self):
+        from repro.experiments.runner import _run_platform
+
+        platform = _run_platform(SCENARIO.with_(shards=4), 0)
+        stats_sim = platform.sim
+        assert sum(stats_sim.lane_events) > 0
+        assert stats_sim.untagged_events > 0
+        assert 0.0 <= stats_sim.lane_balance < 1.0
+
+    def test_chaos_network_scenario_identical(self):
+        from repro.detection import BackoffPolicy, DetectionConfig
+        from repro.faults.chaos import default_chaos_preset
+        from repro.network.config import NETWORK_PRESETS
+
+        scenario = SCENARIO.with_(
+            network=NETWORK_PRESETS["10gbe"],
+            chaos=default_chaos_preset(),
+            detection=DetectionConfig(),
+            backoff=BackoffPolicy(),
+        )
+        base = asdict(run_scenario(scenario, seed=7))
+        sharded = asdict(run_scenario(scenario.with_(shards=4), seed=7))
+        assert sharded == base
+
+    def test_run_cells_fan_out_of_sharded_cells(self):
+        cells = [(SCENARIO, seed) for seed in range(3)]
+        sharded_cells = [
+            (scenario.with_(shards=4), seed) for scenario, seed in cells
+        ]
+        serial = [asdict(s) for s in run_cells(cells, jobs=1)]
+        parallel = [asdict(s) for s in run_cells(cells, jobs=2)]
+        sharded = [asdict(s) for s in run_cells(sharded_cells, jobs=2)]
+        assert serial == parallel == sharded
+
+    def test_config_validates_shards(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(workload="dl-training", shards=0)
+        assert ScenarioConfig(workload="dl-training", shards="auto")
+
+
+# ---------------------------------------------------------------------------
+# Engine stats surfacing (satellite: queue health observability)
+# ---------------------------------------------------------------------------
+class TestEngineStats:
+    def test_collect_engine_stats_plain(self):
+        from repro.metrics.engine import collect_engine_stats
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        fired = []
+        sim.call_in(1.0, lambda: fired.append(1))
+        handle = sim.call_in(2.0, lambda: fired.append(2))
+        handle.cancel()
+        sim.run()
+        stats = collect_engine_stats(sim)
+        assert stats.events_processed == 1
+        assert stats.pushes == 2
+        assert stats.cancelled_total == 1
+        assert stats.pending == 0
+        assert stats.peak_heap_size == 2
+        assert stats.lane_events == ()
+
+    def test_traced_run_carries_engine_stats(self):
+        traced = run_traced(SCENARIO.with_(shards=4), seed=0)
+        assert traced.engine is not None
+        assert traced.engine.events_processed > 0
+        assert sum(traced.engine.lane_events) > 0
+        from repro.metrics.engine import format_engine_stats
+
+        rendered = format_engine_stats(traced.engine)
+        assert "event queue" in rendered
+        assert "shard lanes" in rendered

@@ -255,3 +255,162 @@ class TestSimulator:
 
         assert trace(42) == trace(42)
         assert trace(42) != trace(43)
+
+
+class TestBatchedDrain:
+    """pop_batch / push_back / step_batch: the batched hot path."""
+
+    def test_pop_batch_same_timestamp_run(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, label="a")
+        queue.push(1.0, lambda: None, label="b")
+        queue.push(2.0, lambda: None, label="c")
+        batch = queue.pop_batch()
+        assert [e.label for e in batch] == ["a", "b"]
+        assert len(queue) == 1
+        assert all(not e.in_heap for e in batch)
+
+    def test_pop_batch_respects_priority_boundary(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, priority=1, label="low")
+        queue.push(1.0, lambda: None, priority=0, label="high")
+        batch = queue.pop_batch()
+        assert [e.label for e in batch] == ["high"]
+
+    def test_pop_batch_horizon_is_strict(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, label="in")
+        queue.push(2.0, lambda: None, label="on-barrier")
+        batch = queue.pop_batch(horizon=2.0)
+        assert [e.label for e in batch] == ["in"]
+        assert queue.peek_time() == 2.0
+
+    def test_pop_batch_collects_cancelled_for_free(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None, label="keep")
+        kill = queue.push(1.0, lambda: None, label="kill")
+        queue.cancel(kill)
+        batch = queue.pop_batch(horizon=10.0)
+        assert [e.label for e in batch] == ["keep"]
+        assert queue.cancelled_pending == 0
+        assert keep is batch[0]
+
+    def test_push_back_restores_order_and_counters(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, label="a")
+        queue.push(1.0, lambda: None, label="b")
+        batch = queue.pop_batch()
+        queue.push_back(batch[1:])
+        assert len(queue) == 1
+        assert queue.peek_key() == batch[1].key
+        assert batch[1].in_heap
+
+    def test_cancel_of_popped_batch_member_skips_heap_bookkeeping(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, label="a")
+        later = queue.push(1.0, lambda: None, label="b")
+        batch = queue.pop_batch()
+        assert later in batch
+        live_before = len(queue)
+        later.cancel()  # already out of the heap
+        assert later.cancelled and not later.active
+        assert len(queue) == live_before  # counters untouched
+
+    def test_step_batch_fires_same_instant_events_together(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, lambda: seen.append("a"))
+        sim.call_at(1.0, lambda: seen.append("b"))
+        sim.call_at(2.0, lambda: seen.append("c"))
+        assert sim.step_batch() == 2
+        assert seen == ["a", "b"]
+        assert sim.now == 1.0
+
+    def test_step_batch_matches_step_when_callback_cancels_sibling(self):
+        def run(batched):
+            sim = Simulator()
+            seen = []
+            handles = {}
+            handles["b"] = None
+
+            def kill_b():
+                seen.append("a")
+                handles["b"].cancel()
+
+            sim.call_at(1.0, kill_b)
+            handles["b"] = sim.call_at(1.0, lambda: seen.append("b"))
+            if batched:
+                while sim.step_batch():
+                    pass
+            else:
+                while sim.step():
+                    pass
+            return seen
+
+        assert run(batched=True) == run(batched=False) == ["a"]
+
+    def test_step_batch_pushes_back_when_fresher_event_sorts_earlier(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            # Same time, lower priority than the rest of the batch: must
+            # fire before them, exactly as one-at-a-time stepping would.
+            sim.call_at(1.0, lambda: seen.append("injected"), priority=-1)
+
+        sim.call_at(1.0, first, priority=0)
+        sim.call_at(1.0, lambda: seen.append("second"), priority=0)
+        sim.run()
+        assert seen == ["first", "injected", "second"]
+
+    def test_batched_run_equals_stepped_run_on_random_workload(self):
+        def simulate(use_run):
+            sim = Simulator(seed=9)
+            rng = sim.rng.stream("load")
+            out = []
+
+            def work(i):
+                out.append((round(sim.now, 9), i))
+                if i < 150:
+                    sim.call_in(float(rng.choice([0.0, 0.1, 0.1])),
+                                lambda: work(i + 1))
+
+            sim.call_at(0.0, lambda: work(0))
+            if use_run:
+                sim.run()
+            else:
+                while sim.step_batch():
+                    pass
+            return out
+
+        assert simulate(True) == simulate(False)
+
+    def test_adaptive_threshold_grows_and_decays(self):
+        queue = EventQueue(compaction_threshold=8)
+        events = [queue.push(float(i), lambda: None) for i in range(64)]
+        # Cancel from the back: cancelling the heap top would be pruned
+        # eagerly and never build up compaction pressure.
+        for event in events[24:]:
+            queue.cancel(event)
+        assert queue.compactions >= 1
+        grown = queue.compaction_threshold
+        assert grown >= 8
+        # Drain almost everything; cancelling in a now-small heap decays
+        # the threshold back toward the floor.
+        while queue:
+            queue.pop()
+        survivor = queue.push(100.0, lambda: None)
+        queue.push(101.0, lambda: None)
+        queue.cancel(survivor)
+        assert queue.compaction_threshold <= grown
+
+    def test_queue_health_counters(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        later = queue.push(2.0, lambda: None)
+        queue.cancel(later)  # not the top: stays as heap garbage
+        assert queue.pushes == 2
+        assert queue.peak_heap_size == 2
+        assert queue.cancelled_pending == 1
+        assert len(queue) == 1

@@ -50,3 +50,43 @@ class TestRngRegistry:
         a = RngRegistry(1).stream("s").uniform()
         b = RngRegistry(2).stream("s").uniform()
         assert a != b
+
+
+class TestNamesCaching:
+    def test_names_maintained_sorted_at_registration(self):
+        reg = RngRegistry(0)
+        for name in ("m", "a", "z", "k"):
+            reg.stream(name)
+        assert reg.names() == ["a", "k", "m", "z"]
+        reg.stream("b")
+        assert reg.names() == ["a", "b", "k", "m", "z"]
+
+    def test_names_returns_a_copy(self):
+        reg = RngRegistry(0)
+        reg.stream("x")
+        names = reg.names()
+        names.append("mutated")
+        assert reg.names() == ["x"]
+
+    def test_reset_removes_from_sorted_names(self):
+        reg = RngRegistry(0)
+        reg.stream("a")
+        reg.stream("b")
+        reg.reset("a")
+        assert reg.names() == ["b"]
+        reg.stream("a")
+        assert reg.names() == ["a", "b"]
+
+    def test_creation_order_records_first_use_sequence(self):
+        reg = RngRegistry(0)
+        reg.stream("zeta")
+        reg.stream("alpha")
+        reg.stream("zeta")  # already created: no new entry
+        assert reg.creation_order() == ("zeta", "alpha")
+
+    def test_creation_order_keeps_history_across_reset(self):
+        reg = RngRegistry(0)
+        reg.stream("s")
+        reg.reset("s")
+        reg.stream("s")
+        assert reg.creation_order() == ("s", "s")
