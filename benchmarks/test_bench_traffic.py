@@ -1,0 +1,268 @@
+"""Open-loop multi-tenant traffic + autoscaling → ``BENCH_traffic.json``.
+
+Four cells exercise the S38 traffic/autoscale subsystem end to end:
+
+* **sustained** — three tenants (Poisson / diurnal / bursty) offering
+  ~21 invocations/s for ~83 virtual minutes: >=10^5 invocations through
+  the admission queue with per-tenant streaming latency quantiles, at a
+  load just under the cluster's knee so the queue stays in steady state.
+* **ramp** — a bursty tenant drives the node autoscaler through a full
+  cycle; both scale-out and scale-in events must appear.
+* **overload** — offered load is ~3x cluster capacity; admission control
+  sheds, and the p99 of *admitted* invocations stays bounded (the whole
+  point of shedding).
+* **chaos-ramp** — a zombie gray failure lands mid-ramp, so detection,
+  chaos, and the autoscaler compete over the same node set.
+
+Structural guards (asserted in smoke mode too): traffic cells are a pure
+function of the seed (a re-run is bit-identical), and a platform built
+without traffic/autoscale reports all the new summary fields as zero.
+
+``BENCH_SMOKE=1`` (CI) shrinks rates/horizons to a few hundred
+invocations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.autoscale import AdmissionConfig, AutoscaleConfig
+from repro.detection import BackoffPolicy, DetectionConfig
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario, run_traffic
+from repro.faults.chaos import ChaosConfig
+from repro.sla.policy import SLAPolicy
+from repro.traffic import (
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    Tenant,
+    TrafficConfig,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_traffic.json"
+SMOKE = os.environ.get("BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
+SEED = 0
+DEADLINE = SLAPolicy(deadline_s=30.0)
+
+#: sustained cell: mean offered rate ~21/s for 5000 s -> ~105k invocations
+#: (smoke: ~3.2/s for 60 s -> ~190).  ~21/s on 32 nodes sits just under
+#: the cluster's measured knee (cold start + replica pool + invoker
+#: cold-start contention), so the queue reaches a steady state instead of
+#: collapsing — the p99 bound below is the regression guard for that.
+SUSTAINED_SCALE = 0.15 if SMOKE else 1.0
+SUSTAINED_DURATION_S = 60.0 if SMOKE else 5000.0
+SUSTAINED_FLOOR = 100 if SMOKE else 100_000
+
+RAMP_DURATION_S = 90.0 if SMOKE else 240.0
+#: shorter burst phases in smoke so a full out+in cycle fits the horizon
+RAMP_PHASE_S = (10.0, 10.0) if SMOKE else (20.0, 40.0)
+OVERLOAD_DURATION_S = 30.0 if SMOKE else 120.0
+
+RAMP_AUTOSCALE = AutoscaleConfig(
+    min_nodes=4,
+    max_nodes=16,
+    cooldown_out_s=2.0,
+    cooldown_in_s=8.0,
+    boot_delay_s=1.0,
+)
+
+
+def _t(name, arrivals):
+    return Tenant(
+        name=name,
+        arrivals=arrivals,
+        workloads=("micro-python",),
+        sla=DEADLINE,
+    )
+
+
+def sustained_scenario() -> ScenarioConfig:
+    s = SUSTAINED_SCALE
+    tenants = (
+        _t("steady", PoissonArrivals(rate_per_s=11.0 * s)),
+        _t(
+            "diurnal",
+            DiurnalArrivals(
+                base_rate_per_s=6.25 * s, amplitude=0.5, period_s=600.0
+            ),
+        ),
+        _t(
+            "bursty",
+            OnOffArrivals(
+                on_rate_per_s=11.25 * s, mean_on_s=10.0, mean_off_s=20.0
+            ),
+        ),
+    )
+    return ScenarioConfig(
+        workload="micro-python",
+        strategy="canary",
+        error_rate=0.02,
+        num_nodes=32,
+        traffic=TrafficConfig(tenants=tenants, duration_s=SUSTAINED_DURATION_S),
+    )
+
+
+def ramp_scenario(chaos: bool = False) -> ScenarioConfig:
+    tenants = (
+        _t(
+            "burst",
+            OnOffArrivals(
+                on_rate_per_s=24.0,
+                mean_on_s=RAMP_PHASE_S[0],
+                mean_off_s=RAMP_PHASE_S[1],
+            ),
+        ),
+    )
+    kwargs = {}
+    if chaos:
+        kwargs = dict(
+            chaos=ChaosConfig(
+                zombies=1, zombie_window=(20.0, 21.0), zombie_kill_after_s=40.0
+            ),
+            detection=DetectionConfig(),
+            backoff=BackoffPolicy(),
+        )
+    return ScenarioConfig(
+        workload="micro-python",
+        strategy="canary",
+        error_rate=0.0,
+        num_nodes=4,
+        traffic=TrafficConfig(tenants=tenants, duration_s=RAMP_DURATION_S),
+        autoscale=RAMP_AUTOSCALE,
+        **kwargs,
+    )
+
+
+def overload_scenario() -> ScenarioConfig:
+    # The two tenants offer ~44/s against a 4-node cluster whose measured
+    # knee (cold start + replica pool + invoker cold-start contention) sits
+    # near 3-4 admitted invocations/s.  The token buckets cap each tenant
+    # at 1.5/s so admitted work stays left of the knee; everything else is
+    # shed at the door instead of rotting in a queue.
+    tenants = (
+        _t("hog", PoissonArrivals(rate_per_s=40.0)),
+        _t("quiet", PoissonArrivals(rate_per_s=4.0)),
+    )
+    admission = AdmissionConfig(
+        tenant_rate_per_s=1.5, tenant_burst=3.0, queue_shed_depth=8
+    )
+    return ScenarioConfig(
+        workload="micro-python",
+        strategy="canary",
+        error_rate=0.0,
+        num_nodes=4,
+        traffic=TrafficConfig(
+            tenants=tenants,
+            duration_s=OVERLOAD_DURATION_S,
+            admission=admission,
+        ),
+    )
+
+
+def _row(cell: str, result) -> dict:
+    summary = result.summary
+    return {
+        "cell": cell,
+        "offered": summary.invocations_offered,
+        "shed": summary.invocations_shed,
+        "slo_violations": summary.slo_violations,
+        "latency_p50_s": round(summary.latency_p50_s, 6),
+        "latency_p99_s": round(summary.latency_p99_s, 6),
+        "latency_p999_s": round(summary.latency_p999_s, 6),
+        "scale_outs": summary.scale_outs,
+        "scale_ins": summary.scale_ins,
+        "nodes_peak": summary.nodes_peak,
+        "makespan_s": round(summary.makespan_s, 3),
+        "tenants": result.tenants,
+    }
+
+
+def run_bench() -> dict:
+    rows = []
+
+    # --- sustained multi-tenant volume ---------------------------------
+    sustained = run_traffic(sustained_scenario(), seed=SEED)
+    rows.append(_row("sustained", sustained))
+    assert sustained.summary.invocations_offered >= SUSTAINED_FLOOR
+    assert sustained.summary.invocations_shed == 0  # no admission configured
+    # Sustained means steady-state, not queueing collapse: the p99 must
+    # stay near the service time (~18 s unloaded), not grow with the
+    # horizon.
+    assert sustained.summary.latency_p99_s < 2 * DEADLINE.deadline_s, (
+        sustained.summary.latency_p99_s
+    )
+    for name, row in sustained.tenants.items():
+        assert row["offered"] > 0, name
+        assert row["latency_p99_s"] > 0, name
+        assert row["latency_p999_s"] >= row["latency_p99_s"], name
+
+    # --- autoscaler ramp ----------------------------------------------
+    ramp = run_traffic(ramp_scenario(), seed=SEED)
+    rows.append(_row("ramp", ramp))
+    directions = [d for _, d, _ in ramp.scale_events]
+    assert "out" in directions, ramp.scale_events
+    assert "in" in directions, ramp.scale_events
+    assert ramp.summary.nodes_peak <= RAMP_AUTOSCALE.max_nodes
+
+    # Purity: a traffic+autoscale cell re-run at the same seed is
+    # bit-identical.
+    again = run_traffic(ramp_scenario(), seed=SEED)
+    assert asdict(again.summary) == asdict(ramp.summary)
+    assert again.scale_events == ramp.scale_events
+    assert again.tenants == ramp.tenants
+
+    # --- overload: shed but keep admitted latency bounded --------------
+    overload = run_traffic(overload_scenario(), seed=SEED)
+    rows.append(_row("overload", overload))
+    assert overload.summary.invocations_shed > 0
+    hog = overload.tenants["hog"]
+    assert hog["admitted"] + hog["shed"] == hog["offered"]
+    # The point of shedding: p99 of *admitted* work stays within the 30 s
+    # SLO (unloaded service time is ~19 s p99), far below the queueing
+    # collapse an unshed ~10x overload would produce.
+    assert overload.summary.latency_p99_s < 30.0, (
+        overload.summary.latency_p99_s
+    )
+    assert overload.summary.slo_violations == 0
+
+    # --- gray failure mid-ramp ----------------------------------------
+    chaos = run_traffic(ramp_scenario(chaos=True), seed=SEED)
+    rows.append(_row("chaos-ramp", chaos))
+    assert chaos.summary.invocations_offered > 0
+    chaos_again = run_traffic(ramp_scenario(chaos=True), seed=SEED)
+    assert asdict(chaos_again.summary) == asdict(chaos.summary)
+
+    # --- off-by-default pledge ----------------------------------------
+    plain = run_scenario(
+        ScenarioConfig(
+            workload="graph-bfs", strategy="canary", error_rate=0.15
+        ),
+        seed=SEED,
+    )
+    assert plain.invocations_offered == 0
+    assert plain.latency_p99_s == 0.0
+    assert plain.scale_outs == 0 and plain.nodes_peak == 0
+
+    return {
+        "smoke": SMOKE,
+        "seed": SEED,
+        "sustained_duration_s": SUSTAINED_DURATION_S,
+        "ramp_duration_s": RAMP_DURATION_S,
+        "overload_duration_s": OVERLOAD_DURATION_S,
+        "rows": rows,
+        "ramp_events": [
+            [round(t, 3), d, n] for t, d, n in ramp.scale_events
+        ],
+    }
+
+
+def test_bench_traffic(benchmark):
+    record = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))

@@ -1,0 +1,22 @@
+"""Invoker/node autoscaling and admission control.
+
+EWMA-and-queue-depth driven scale-out (paying real cold-start image pulls
+through the S33 fabric) and drain-before-retire scale-in, plus per-tenant
+token-bucket admission with global queue shedding.  See DESIGN.md §S38.
+"""
+
+from repro.autoscale.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.autoscale.autoscaler import NodeAutoscaler
+from repro.autoscale.config import AutoscaleConfig
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AutoscaleConfig",
+    "NodeAutoscaler",
+    "TokenBucket",
+]

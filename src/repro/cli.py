@@ -174,6 +174,116 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traffic_tenants(args: argparse.Namespace):
+    """Build the tenant set for ``canary-sim traffic``.
+
+    ``--profile mixed`` cycles Poisson / diurnal / on-off processes across
+    the tenants so one command exercises every arrival shape;
+    ``--profile poisson`` keeps them homogeneous.
+    """
+    from repro.sla.policy import SLAPolicy
+    from repro.traffic import (
+        DiurnalArrivals,
+        OnOffArrivals,
+        PoissonArrivals,
+        Tenant,
+    )
+
+    sla = (
+        SLAPolicy(deadline_s=args.deadline)
+        if args.deadline is not None
+        else None
+    )
+    tenants = []
+    for index in range(args.tenants):
+        if args.profile == "poisson" or index % 3 == 0:
+            arrivals = PoissonArrivals(rate_per_s=args.rate)
+        elif index % 3 == 1:
+            arrivals = DiurnalArrivals(
+                base_rate_per_s=args.rate,
+                amplitude=0.6,
+                period_s=max(args.duration / 2.0, 1.0),
+            )
+        else:
+            arrivals = OnOffArrivals(
+                on_rate_per_s=3.0 * args.rate,
+                mean_on_s=max(args.duration / 10.0, 1.0),
+                mean_off_s=max(args.duration / 5.0, 1.0),
+            )
+        tenants.append(
+            Tenant(
+                name=f"tenant-{index:02d}",
+                arrivals=arrivals,
+                workloads=(args.workload,),
+                sla=sla,
+            )
+        )
+    return tuple(tenants)
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.autoscale import AdmissionConfig, AutoscaleConfig
+    from repro.experiments.runner import run_traffic
+    from repro.traffic import TrafficConfig
+
+    admission = None
+    if args.admit_rate is not None or args.shed_depth is not None:
+        admission = AdmissionConfig(
+            tenant_rate_per_s=args.admit_rate,
+            tenant_burst=args.admit_burst,
+            queue_shed_depth=args.shed_depth,
+        )
+    traffic = TrafficConfig(
+        tenants=_traffic_tenants(args),
+        duration_s=args.duration,
+        admission=admission,
+    )
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscaleConfig(
+            min_nodes=args.min_nodes, max_nodes=args.max_nodes
+        )
+    scenario = _scenario_from_args(args).with_(
+        traffic=traffic, autoscale=autoscale
+    )
+    result = run_traffic(scenario, seed=args.seed)
+    summary = result.summary
+    if args.json:
+        record = {
+            "summary": asdict(summary),
+            "tenants": result.tenants,
+            "scale_events": [list(e) for e in result.scale_events],
+        }
+        print(json.dumps(record, indent=2))
+        return 0
+    admitted = summary.invocations_offered - summary.invocations_shed
+    print(f"strategy          : {summary.strategy}")
+    print(f"tenants           : {args.tenants} over {args.duration:.0f}s "
+          f"({args.profile} arrivals at {args.rate}/s each)")
+    print(f"invocations       : {summary.invocations_offered} offered, "
+          f"{admitted} admitted, {summary.invocations_shed} shed")
+    print(f"latency           : p50 {summary.latency_p50_s:.3f}s  "
+          f"p99 {summary.latency_p99_s:.3f}s  "
+          f"p999 {summary.latency_p999_s:.3f}s")
+    print(f"SLO violations    : {summary.slo_violations}")
+    if args.autoscale:
+        print(f"autoscaler        : {summary.scale_outs} scale-outs, "
+              f"{summary.scale_ins} scale-ins, peak {summary.nodes_peak} "
+              f"nodes")
+    print(f"makespan          : {summary.makespan_s:.2f}s")
+    print(f"cost              : ${summary.cost_total:.4f}")
+    print()
+    print(f"{'tenant':12s} {'offered':>8s} {'shed':>6s} {'p50':>8s} "
+          f"{'p99':>8s} {'p999':>8s} {'SLO viol':>9s}")
+    for name, row in result.tenants.items():
+        print(
+            f"{name:12s} {row['offered']:8d} {row['shed']:6d} "
+            f"{row['latency_p50_s']:8.3f} {row['latency_p99_s']:8.3f} "
+            f"{row['latency_p999_s']:8.3f} {row['slo_violations']:9d}"
+        )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.trace import (
         aggregate_spans,
@@ -310,6 +420,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="emit the summary as JSON")
     run.set_defaults(func=_cmd_run)
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="simulate open-loop multi-tenant traffic (repro.traffic)",
+    )
+    _add_run_flags(traffic)
+    traffic.add_argument("--tenants", type=int, default=3,
+                         help="number of traffic tenants")
+    traffic.add_argument("--rate", type=float, default=1.0,
+                         help="mean arrival rate per tenant (1/s)")
+    traffic.add_argument("--duration", type=float, default=60.0,
+                         help="arrival-generation horizon (s)")
+    traffic.add_argument("--profile", default="mixed",
+                         choices=("mixed", "poisson"),
+                         help="arrival shapes: mixed cycles poisson/diurnal/"
+                         "on-off across tenants")
+    traffic.add_argument("--deadline", type=float, default=None,
+                         help="per-invocation SLO deadline (s)")
+    traffic.add_argument("--admit-rate", type=float, default=None,
+                         help="per-tenant admitted rate (token bucket, 1/s)")
+    traffic.add_argument("--admit-burst", type=float, default=10.0,
+                         help="per-tenant burst allowance")
+    traffic.add_argument("--shed-depth", type=int, default=None,
+                         help="global backlog beyond which arrivals shed")
+    traffic.add_argument("--autoscale", action="store_true",
+                         help="enable the node autoscaler")
+    traffic.add_argument("--min-nodes", type=int, default=4)
+    traffic.add_argument("--max-nodes", type=int, default=16)
+    traffic.add_argument("--json", action="store_true",
+                         help="emit summary + per-tenant rows as JSON")
+    traffic.set_defaults(func=_cmd_traffic)
 
     trace = sub.add_parser(
         "trace",

@@ -110,10 +110,15 @@ class Cluster:
 
         ``exclude`` removes already-doomed nodes from the draw, so a batch
         of scheduled failures targets distinct victims and their precursor
-        signals stay attached to nodes that actually die.
+        signals stay attached to nodes that actually die.  Deprovisioned
+        nodes (autoscaler spares) host nothing and cannot be victims; with
+        everything provisioned the candidate list — and the draw — is
+        unchanged.
         """
         alive = [
-            n for n in self.nodes if n.alive and n.node_id not in exclude
+            n
+            for n in self.nodes
+            if n.alive and n.provisioned and n.node_id not in exclude
         ]
         if not alive:
             return None

@@ -26,6 +26,10 @@ class Node:
         self.profile = profile
         self.rack = rack
         self.alive = True
+        #: deprovisioned nodes exist in the cluster (fixed topology for
+        #: the fabric, detection, and shard plans) but host nothing; the
+        #: autoscaler flips this as capacity scales out and in
+        self.provisioned = True
         #: cordoned nodes accept no new containers (proactive mitigation
         #: drains suspect hardware before a predicted failure; the
         #: heartbeat detector also cordons suspected nodes)
@@ -55,6 +59,7 @@ class Node:
         """True when the node is alive, uncordoned, with capacity to spare."""
         return (
             self.alive
+            and self.provisioned
             and not self.cordoned
             and self.slots_free > 0
             and self.memory_free >= memory_bytes

@@ -56,6 +56,14 @@ from repro.storage.tiers import TierRegistry
 from repro.strategies.factory import make_strategy
 from repro.trace.tracer import NULL_TRACER, NullTracer
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.autoscale.autoscaler import NodeAutoscaler
+    from repro.autoscale.config import AutoscaleConfig
+    from repro.traffic.replay import TrafficSource
+    from repro.traffic.tenant import TrafficConfig
+
 
 class CanaryPlatform:
     """A fully wired simulated FaaS platform with a recovery strategy.
@@ -77,6 +85,10 @@ class CanaryPlatform:
             (default) keeps the constant-delay detection oracle.
         backoff: Retry/backoff policy for placement and restore reads
             against degraded endpoints.  None disables backoff.
+        traffic: Open-loop multi-tenant traffic (``repro.traffic``); None
+            (default) keeps the batch-submission interface untouched.
+        autoscale: Node autoscaler config (``repro.autoscale``); None
+            (default) keeps the node set fixed.
     """
 
     def __init__(
@@ -108,10 +120,25 @@ class CanaryPlatform:
         backoff: Optional[BackoffPolicy] = None,
         tracer: Optional[NullTracer] = None,
         shards: int | str = 1,
+        traffic: Optional["TrafficConfig"] = None,
+        autoscale: Optional["AutoscaleConfig"] = None,
     ) -> None:
         self.seed = seed
         self.config = config or PlatformConfig()
         self.pricing = pricing
+        # Autoscaling works against a *fixed* node universe: the cluster
+        # is built at max_nodes so the fabric topology, detection, and
+        # shard plans never see membership churn; spare nodes start
+        # deprovisioned (invisible to placement) and the autoscaler flips
+        # Node.provisioned as capacity scales.
+        self.autoscale_config = autoscale
+        cluster_nodes = num_nodes
+        initial_provisioned = num_nodes
+        if autoscale is not None:
+            cluster_nodes = max(autoscale.max_nodes, 1)
+            initial_provisioned = min(
+                max(num_nodes, autoscale.min_nodes), autoscale.max_nodes
+            )
         # shards=1 is the plain serial engine.  Anything else swaps in the
         # lane-tagged ShardedSimulator: the platform's zero-latency global
         # services weld every lane into one execution group, so the drain
@@ -125,7 +152,7 @@ class CanaryPlatform:
 
             num_racks = Topology().num_racks
             self.shard_plan = rack_plan(
-                num_nodes,
+                cluster_nodes,
                 num_racks,
                 shards,
                 lookahead_s=derive_lookahead(
@@ -151,12 +178,14 @@ class CanaryPlatform:
             else {}
         )
         self.cluster = Cluster(
-            num_nodes,
+            cluster_nodes,
             heterogeneity=HeterogeneityModel(
                 rng=self.sim.rng.stream("heterogeneity"),
                 **heterogeneity_kwargs,
             ),
         )
+        for node in self.cluster.nodes[initial_provisioned:]:
+            node.provisioned = False
         self.database = CanaryDatabase()
         self._register_workers()
         self.ids = IdGenerator()
@@ -201,6 +230,22 @@ class CanaryPlatform:
                 detection,
                 tracer=self.tracer,
                 on_reinstate=lambda node: self.controller.kick(),
+            )
+        # Node autoscaler: scales Node.provisioned between the configured
+        # bounds; detection coverage follows via watch/retire.
+        self.autoscaler: Optional["NodeAutoscaler"] = None
+        if autoscale is not None:
+            from repro.autoscale.autoscaler import NodeAutoscaler
+
+            self.autoscaler = NodeAutoscaler(
+                self.sim,
+                self.cluster,
+                self.controller,
+                autoscale,
+                network=self.network,
+                detection=self.detection,
+                extra_backlog=lambda: len(self._pending_jobs),
+                tracer=self.tracer,
             )
         self.router = CheckpointStorageRouter(
             self.kv,
@@ -281,6 +326,11 @@ class CanaryPlatform:
             )
         self.replication = self.ctx.replication
         self.jobs: dict[str, Job] = {}
+        #: Incomplete-job count maintained incrementally: the detection
+        #: and autoscaler keep-alives poll for pending work on every beat,
+        #: and scanning the ever-growing ``jobs`` dict there would turn
+        #: sustained traffic runs quadratic.
+        self._open_jobs = 0
         #: FIFO admission queue; deque so each drained job is O(1), not
         #: an O(n) list shift.
         self._pending_jobs: deque[tuple[JobRequest, Optional[object]]] = (
@@ -294,6 +344,14 @@ class CanaryPlatform:
                 node.node_id, now=self.sim.now
             )
         )
+        # Open-loop traffic: tenant streams are materialized now (stream
+        # creation order is part of the determinism contract) and replayed
+        # from run().
+        self.traffic: Optional["TrafficSource"] = None
+        if traffic is not None:
+            from repro.traffic.replay import TrafficSource
+
+            self.traffic = TrafficSource(self, traffic)
         # Failure prediction & proactive mitigation (§VII future work).
         self.predictor = None
         self.mitigator = None
@@ -352,6 +410,7 @@ class CanaryPlatform:
             started_at=self.sim.now,
         )
         self.jobs[job.job_id] = job
+        self._open_jobs += 1
         if on_complete is not None:
             self._job_callbacks[job.job_id] = on_complete
         self.database.job_info.insert(
@@ -390,6 +449,7 @@ class CanaryPlatform:
         if job.done and job.completed_at is None:
             job.completed_at = self.sim.now
             job.state = JobState.COMPLETED
+            self._open_jobs -= 1
             self.database.job_info.update(
                 job.job_id,
                 state=job.state.value,
@@ -441,6 +501,10 @@ class CanaryPlatform:
             self._node_failures_scheduled = True
         if self.chaos is not None:
             self.chaos.schedule()
+        if self.traffic is not None:
+            self.traffic.start()
+        if self.autoscaler is not None:
+            self.autoscaler.ensure_running(self._has_pending_work)
         if self.detection is not None:
             self.detection.ensure_running(self._has_pending_work)
         stopped_at = self.sim.run(until=until)
@@ -454,7 +518,9 @@ class CanaryPlatform:
         """Heartbeat keep-alive: beats stop once every job is done."""
         if self._pending_jobs:
             return True
-        return any(not job.done for job in self.jobs.values())
+        if self.traffic is not None and self.traffic.pending_arrivals:
+            return True
+        return self._open_jobs > 0
 
     # ------------------------------------------------------------------
     # Results
@@ -508,4 +574,16 @@ class CanaryPlatform:
             network=collect_network_stats(self.network, self.sim.now),
             detection=det,
             degraded_s=degraded_s,
+            traffic=(
+                self.traffic.totals() if self.traffic is not None else None
+            ),
+            autoscale=(
+                {
+                    "scale_outs": self.autoscaler.scale_outs,
+                    "scale_ins": self.autoscaler.scale_ins,
+                    "nodes_peak": self.autoscaler.nodes_peak,
+                }
+                if self.autoscaler is not None
+                else None
+            ),
         )

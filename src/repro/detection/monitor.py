@@ -163,10 +163,53 @@ class DetectionModule:
         for node in self.cluster.nodes:
             if (
                 node.alive
+                and node.provisioned
                 and not node.zombie
                 and node.node_id not in self._beat_handles
             ):
                 self._schedule_beat(node)
+
+    def watch_node(self, node: "Node") -> None:
+        """Start covering a node that joined after start-up (scale-out).
+
+        No-op until the monitor is running; the freshly provisioned node
+        gets a clean arrival history so its boot gap is not read as a
+        failure.
+        """
+        if not self._started or self._stopped:
+            return
+        if (
+            node.alive
+            and not node.zombie
+            and node.node_id not in self._beat_handles
+        ):
+            self._last_beat.pop(node.node_id, None)
+            self._history.pop(node.node_id, None)
+            self._schedule_beat(node)
+
+    def retire_node(self, node_id: str) -> None:
+        """Stop covering a drained node the autoscaler retired.
+
+        Cancels its timers and closes any open suspicion; silence from a
+        deliberately retired node must not read as a failure.
+        """
+        for handles in (
+            self._beat_handles,
+            self._suspect_handles,
+            self._confirm_handles,
+        ):
+            handle = handles.pop(node_id, None)
+            if handle is not None:
+                handle.cancel()
+        suspected_at = self._suspected_at.pop(node_id, None)
+        if suspected_at is not None:
+            self.cordoned_s += self.sim.now - suspected_at
+        span = self._suspicion_spans.pop(node_id, None)
+        if span is not None:
+            self.tracer.finish(span, outcome="retired")
+        self._we_cordoned.discard(node_id)
+        self._last_beat.pop(node_id, None)
+        self._history.pop(node_id, None)
 
     def _stop_all(self) -> None:
         self._stopped = True

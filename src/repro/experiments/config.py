@@ -5,12 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.autoscale.config import AutoscaleConfig
 from repro.checkpoint.policy import CheckpointPolicy
 from repro.common.types import RecoveryStrategyName, ReplicationStrategyName
 from repro.core.config import PlatformConfig
 from repro.detection import BackoffPolicy, DetectionConfig
 from repro.faults.chaos import ChaosConfig
 from repro.network.config import NetworkModelConfig
+from repro.traffic.tenant import TrafficConfig
 
 #: Error-rate sweep used throughout §V ("vary the error rate from 1% to 50%").
 ERROR_RATE_SWEEP: tuple[float, ...] = (0.01, 0.05, 0.10, 0.15, 0.25, 0.50)
@@ -54,6 +56,13 @@ class ScenarioConfig:
     detection: Optional[DetectionConfig] = None
     #: Placement/restore retry-backoff policy; None disables backoff.
     backoff: Optional[BackoffPolicy] = None
+    #: Open-loop multi-tenant traffic; None (default) keeps the classic
+    #: batch submission (``num_functions`` split into ``jobs``) and all
+    #: golden pins byte-identical.  When set, the traffic stream replaces
+    #: the batch submission entirely.
+    traffic: Optional[TrafficConfig] = None
+    #: Node autoscaler; None (default) keeps the fixed node set.
+    autoscale: Optional[AutoscaleConfig] = None
     #: Event-shard count: 1 (default) is the plain serial engine, an int
     #: or ``"auto"`` (one shard per rack) enables the lane-tagged sharded
     #: engine.  Byte-identity invariant: any value produces the same

@@ -57,18 +57,23 @@ def _run_platform(
         backoff=scenario.backoff,
         tracer=tracer,
         shards=scenario.shards,
+        traffic=scenario.traffic,
+        autoscale=scenario.autoscale,
     )
-    for _ in range(scenario.jobs):
-        platform.submit_job(
-            JobRequest(
-                workload=workload,
-                num_functions=scenario.functions_per_job,
-                checkpoint_interval=scenario.checkpoint_interval,
-                replication_strategy=ReplicationStrategyName(
-                    scenario.replication_strategy
-                ),
+    if scenario.traffic is None:
+        # Classic closed-loop batch; with traffic enabled the arrival
+        # stream is the only submission source.
+        for _ in range(scenario.jobs):
+            platform.submit_job(
+                JobRequest(
+                    workload=workload,
+                    num_functions=scenario.functions_per_job,
+                    checkpoint_interval=scenario.checkpoint_interval,
+                    replication_strategy=ReplicationStrategyName(
+                        scenario.replication_strategy
+                    ),
+                )
             )
-        )
     platform.run()
     return platform
 
@@ -109,6 +114,39 @@ def run_traced(scenario: ScenarioConfig, seed: int = 0) -> TracedRun:
         summary=platform.summary(),
         spans=tracer.spans(),
         engine=collect_engine_stats(platform.sim),
+    )
+
+
+@dataclass(frozen=True)
+class TrafficRun:
+    """A traffic scenario's summary plus per-tenant detail.
+
+    Picklable (plain dataclass of dicts/tuples) so it can be returned from
+    :func:`repro.experiments.parallel.run_cells` workers, and the traffic
+    determinism tests compare serial vs. fanned-out results exactly.
+    """
+
+    summary: RunSummary
+    #: tenant name -> flat stats row (offered/admitted/shed/p99/...)
+    tenants: dict[str, dict]
+    #: autoscaler ramp record: (virtual time, "out"/"in", node_id)
+    scale_events: tuple[tuple[float, str, str], ...]
+
+
+def run_traffic(scenario: ScenarioConfig, seed: int = 0) -> TrafficRun:
+    """Run a traffic-enabled scenario and keep the per-tenant breakdown."""
+    if scenario.traffic is None:
+        raise ValueError("scenario.traffic must be set for run_traffic")
+    platform = _run_platform(scenario, seed)
+    assert platform.traffic is not None
+    return TrafficRun(
+        summary=platform.summary(),
+        tenants=platform.traffic.tenant_rows(),
+        scale_events=(
+            tuple(platform.autoscaler.events)
+            if platform.autoscaler is not None
+            else ()
+        ),
     )
 
 

@@ -119,6 +119,14 @@ class FaaSController:
             for node in cluster.nodes
         }
         self.containers: dict[str, Container] = {}
+        #: Non-terminal containers only.  ``containers`` keeps every
+        #: container ever created (cost accounting reads it once at the
+        #: end); the introspection queries used on every submission —
+        #: ``active_function_count`` — must not rescan that
+        #: ever-growing history, or sustained 10^5-invocation traffic runs
+        #: go quadratic.  Entries are purged lazily: any terminal container
+        #: encountered during iteration is dropped.
+        self._live: dict[str, Container] = {}
         self._queue: collections.deque[ContainerRequest] = collections.deque()
         self._id_counter = itertools.count()
         self.start_rate_limit = start_rate_limit
@@ -130,7 +138,22 @@ class FaaSController:
             collections.defaultdict(collections.deque)
         )
         self.warm_starts = 0
+        # Incremental concurrency accounting.  ``_active_fn_count`` is the
+        # number of FUNCTION containers that are non-terminal and not
+        # parked warm — exactly what the scan-based count used to compute,
+        # but O(1) per query (the validator asks on every submission, which
+        # at open-loop traffic rates is 10^5 times per run).
+        self._active_fn_count = 0
+        # kind -> node_id -> non-terminal FUNCTION containers there; feeds
+        # replica co-location placement without scanning the live set.
+        self._fn_node_count: dict[RuntimeKind, collections.Counter] = (
+            collections.defaultdict(collections.Counter)
+        )
         self._loss_listeners: list[Callable[[Container, str], None]] = []
+        # Run before any per-container loss fanout on a node failure —
+        # bookkeeping that must observe the death atomically (e.g. the
+        # runtime manager's warm-idle replica tally) hooks in here.
+        self._node_failure_pre_listeners: list[Callable[[Node], None]] = []
         cluster.on_node_failure(self._handle_node_failure)
         self.backoff = backoff
         self._backoff_rng = None  # created lazily; default runs draw nothing
@@ -142,28 +165,74 @@ class FaaSController:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _live_containers(self) -> list[Container]:
+        """Non-terminal containers; lazily purges any that terminated.
+
+        Termination happens at several sites (voluntary teardown, reclaim
+        timers, node-failure fanout), so rather than hook every one, the
+        live index is self-cleaning: terminal entries found during a scan
+        are dropped.  Each container is purged at most once, so the
+        amortized cost stays O(live), independent of run length.
+        """
+        dead: list[str] = []
+        out: list[Container] = []
+        for container_id, container in self._live.items():
+            if container.terminal:
+                dead.append(container_id)
+            else:
+                out.append(container)
+        for container_id in dead:
+            del self._live[container_id]
+        return out
+
     def active_containers(
         self, purpose: Optional[ContainerPurpose] = None
     ) -> list[Container]:
         return [
             c
-            for c in self.containers.values()
-            if not c.terminal and (purpose is None or c.purpose == purpose)
+            for c in self._live_containers()
+            if purpose is None or c.purpose == purpose
         ]
 
     def active_function_count(self) -> int:
         """Concurrent *invocations*: running function containers, excluding
-        warm parked ones awaiting reuse."""
-        return sum(
-            1
-            for c in self.active_containers(ContainerPurpose.FUNCTION)
-            if not c.is_warm_idle
+        warm parked ones awaiting reuse.  Maintained incrementally."""
+        return self._active_fn_count
+
+    def function_hosting_nodes(self, kind: RuntimeKind) -> list[Node]:
+        """Nodes holding at least one non-terminal FUNCTION container of
+        *kind* (replica co-location input; membership-equal to scanning
+        ``active_containers(FUNCTION)`` but O(nodes), not O(containers))."""
+        return [
+            self.cluster.node(node_id)
+            for node_id in self._fn_node_count.get(kind, ())
+        ]
+
+    def _note_fn_terminal(self, container: Container) -> None:
+        """Bookkeeping before a FUNCTION container goes terminal.
+
+        Must run while the container still shows its pre-terminal state:
+        a parked warm container already left the active count when it was
+        parked, so only non-parked ones decrement it here.
+        """
+        if container.purpose != ContainerPurpose.FUNCTION:
+            return
+        counts = self._fn_node_count[container.kind]
+        node_id = container.node.node_id
+        counts[node_id] -= 1
+        if counts[node_id] <= 0:
+            del counts[node_id]
+        parked = (
+            container.state == ContainerState.WARM
+            and container.current_function is None
         )
+        if not parked:
+            self._active_fn_count -= 1
 
     def warm_replicas(self, kind: Optional[RuntimeKind] = None) -> list[Container]:
         return [
             c
-            for c in self.containers.values()
+            for c in self._live_containers()
             if c.purpose == ContainerPurpose.REPLICA
             and c.is_warm_idle
             and (kind is None or c.kind == kind)
@@ -308,6 +377,7 @@ class FaaSController:
                 self.queue_wait_total_s += self.sim.now - request.queued_at
             self._end_queue_span(request, "warm-reuse")
             self.warm_starts += 1
+            self._active_fn_count += 1
             # WARM -> RUNNING without a cold start; the execution binds the
             # function id when it begins its attempt.
             container.state = ContainerState.RUNNING
@@ -322,6 +392,7 @@ class FaaSController:
         """Return a completed function container to the warm pool."""
         container.state = ContainerState.WARM
         container.current_function = None
+        self._active_fn_count -= 1
         self._reuse_pool[container.kind].append(container)
 
         def _reclaim() -> None:
@@ -330,6 +401,7 @@ class FaaSController:
                 pool = self._reuse_pool[container.kind]
                 if container in pool:
                     pool.remove(container)
+                    self._note_fn_terminal(container)
                     container.terminate(self.sim.now, ContainerState.KILLED)
                     self._drain_queue()
 
@@ -367,6 +439,10 @@ class FaaSController:
         )
         node.attach(container)
         self.containers[container.container_id] = container
+        self._live[container.container_id] = container
+        if container.purpose == ContainerPurpose.FUNCTION:
+            self._active_fn_count += 1
+            self._fn_node_count[container.kind][node.node_id] += 1
         request.container = container
         if request.queued_at is not None:
             self.queue_wait_total_s += self.sim.now - request.queued_at
@@ -426,6 +502,7 @@ class FaaSController:
             return
         invoker = self.invokers[container.node.node_id]
         invoker.abort_cold_start(container)
+        self._note_fn_terminal(container)
         container.terminate(self.sim.now, state)
         self._drain_queue()
 
@@ -443,11 +520,18 @@ class FaaSController:
         for listener in self._loss_listeners:
             listener(container, reason)
 
+    def on_node_failure_begin(self, listener: Callable[[Node], None]) -> None:
+        """Register a callback run at the top of the node-failure fanout."""
+        self._node_failure_pre_listeners.append(listener)
+
     def _handle_node_failure(self, node: Node, lost: list[Container]) -> None:
+        for pre_listener in self._node_failure_pre_listeners:
+            pre_listener(node)
         self.invokers[node.node_id].on_node_failure()
         for container in lost:
             if container.terminal:
                 continue
+            self._note_fn_terminal(container)
             container.state = ContainerState.FAILED
             container.terminated_at = self.sim.now
             for listener in self._loss_listeners:

@@ -232,7 +232,10 @@ class ChaosInjector:
         rng = self.sim.rng.stream(stream)
         start, end = window
         times = sorted(float(rng.uniform(start, end)) for _ in range(count))
-        nodes = self.cluster.nodes
+        # Deprovisioned autoscaler spares host nothing and stay out of the
+        # draw; with every node provisioned the list (and the RNG draws)
+        # is identical to the historical behaviour.
+        nodes = [n for n in self.cluster.nodes if n.provisioned]
         return [
             (at, nodes[int(rng.integers(len(nodes)))]) for at in times
         ]

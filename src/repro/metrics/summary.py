@@ -48,6 +48,18 @@ class RunSummary:
     detection_latency_mean_s: float = 0.0
     false_suspicions: int = 0
     degraded_s: float = 0.0
+    # Open-loop traffic layer (zeros when ``traffic`` is disabled, so
+    # legacy summaries stay byte-identical).
+    invocations_offered: int = 0
+    invocations_shed: int = 0
+    slo_violations: int = 0
+    latency_p50_s: float = 0.0
+    latency_p99_s: float = 0.0
+    latency_p999_s: float = 0.0
+    # Autoscaler (zeros when ``autoscale`` is disabled).
+    scale_outs: int = 0
+    scale_ins: int = 0
+    nodes_peak: int = 0
 
     @property
     def all_completed(self) -> bool:
@@ -70,6 +82,8 @@ def summarize(
     network: Optional[NetworkStats] = None,
     detection: Optional["DetectionStats"] = None,
     degraded_s: float = 0.0,
+    traffic: Optional[dict] = None,
+    autoscale: Optional[dict] = None,
 ) -> RunSummary:
     """Build a :class:`RunSummary` from a finished run's collectors."""
     checkpoint_time = sum(t.checkpoint_time_s for t in metrics.traces.values())
@@ -111,4 +125,6 @@ def summarize(
             detection.false_suspicions if detection is not None else 0
         ),
         degraded_s=degraded_s,
+        **(traffic or {}),
+        **(autoscale or {}),
     )

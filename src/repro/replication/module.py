@@ -9,6 +9,8 @@ match.  Placement follows :class:`~repro.replication.placement.ReplicaPlacer`.
 
 from __future__ import annotations
 
+from collections import Counter
+from itertools import count
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.types import ContainerState, RuntimeKind
@@ -47,43 +49,115 @@ class ReplicationModule:
         self.ids = ids
         self.estimator = estimator or FailureRateEstimator()
         self._jobs: dict[str, "Job"] = {}
-        # kind -> in-flight replica cold starts
-        self._pending: dict[RuntimeKind, list[ContainerRequest]] = {}
+        # kind -> Counter[(mean_exec_s, remaining)] — registered jobs
+        # grouped by the only two per-job inputs the strategy target
+        # depends on.  Summing ``count × target`` over groups is integer-
+        # identical to the per-job loop, but costs O(groups) per
+        # reconcile instead of O(jobs): with 10^3 concurrent single-
+        # function jobs there are ~2 groups, not 10^3 terms.
+        self._groups: dict[RuntimeKind, Counter] = {}
+        # job_id -> (kind, group key) as last folded into ``_groups``
+        self._job_group: dict[str, tuple[RuntimeKind, tuple[float, int]]] = {}
+        # kind -> {launch token: in-flight replica cold start}.  Every
+        # exit from the in-flight state is hooked — warm (``_ready``),
+        # cancelled (``_retire_surplus``), lost mid-start (container-loss
+        # fanout via ``_token_by_container``) — so ``len()`` IS the
+        # in-flight count and reconciles never scan the set.  With the
+        # cluster saturated by open-loop traffic, hundreds of replica
+        # starts queue up at once; scanning them per reconcile was
+        # quadratic in concurrency.
+        self._pending: dict[RuntimeKind, dict[int, ContainerRequest]] = {}
+        self._pending_seq = count()
+        # container_id -> launch token, for the loss-fanout removal path.
+        self._token_by_container: dict[str, int] = {}
         self.replicas_launched = 0
         self.replicas_retired = 0
         runtime_manager.on_replica_claimed(self._handle_claim)
         controller.on_container_loss(self._handle_container_loss)
+        # Keep the manager's incremental warm-idle tally in step with the
+        # scan semantics across a node death: dead-node replicas must
+        # leave the count before the first container-loss reconcile runs.
+        controller.on_node_failure_begin(
+            lambda node: runtime_manager.note_node_dead(node.node_id)
+        )
 
     # ------------------------------------------------------------------
     # Job registration
     # ------------------------------------------------------------------
     def register_job(self, job: "Job") -> None:
         self._jobs[job.job_id] = job
+        self._track(job)
         self.reconcile(job.workload.runtime)
 
     def complete_job(self, job: "Job") -> None:
         self._jobs.pop(job.job_id, None)
+        self._untrack(job.job_id)
         self.reconcile(job.workload.runtime)
+
+    # ------------------------------------------------------------------
+    # Group bookkeeping (incremental view of the per-job target inputs)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _group_key(job: "Job") -> tuple[float, int]:
+        return (job.workload.mean_exec_s, job.remaining())
+
+    def _track(self, job: "Job") -> None:
+        kind = job.workload.runtime
+        key = self._group_key(job)
+        self._groups.setdefault(kind, Counter())[key] += 1
+        self._job_group[job.job_id] = (kind, key)
+
+    def _untrack(self, job_id: str) -> None:
+        entry = self._job_group.pop(job_id, None)
+        if entry is None:
+            return
+        kind, key = entry
+        counter = self._groups[kind]
+        counter[key] -= 1
+        if counter[key] <= 0:
+            del counter[key]
+
+    def _refresh(self, job: "Job") -> None:
+        """Re-bucket a job whose ``remaining()`` may have moved."""
+        entry = self._job_group.get(job.job_id)
+        if entry is None:
+            return
+        key = self._group_key(job)
+        if entry[1] != key:
+            self._untrack(job.job_id)
+            self._track(job)
 
     # ------------------------------------------------------------------
     # Algorithm 2
     # ------------------------------------------------------------------
-    def target_for_kind(self, kind: RuntimeKind) -> int:
-        """Σ over registered jobs using *kind* of the strategy's target."""
+    def target_for_kind(
+        self, kind: RuntimeKind, *, active_replicas: Optional[int] = None
+    ) -> int:
+        """Σ over registered jobs using *kind* of the strategy's target.
+
+        Evaluated over the ``(mean_exec_s, remaining)`` groups rather than
+        job by job; ``active_replicas`` is loop-invariant so the warm-pool
+        scan happens once per call, not once per job (callers that already
+        hold the count pass it in to skip the scan entirely).
+        """
         total = 0
         runtime = self.controller.runtimes.get(kind)
         # Replacing a consumed replica takes roughly a cold start plus the
         # failure-detection lag; that is the window the pool must cover.
         window = runtime.cold_start_s
-        for job in self._jobs.values():
-            if job.workload.runtime != kind:
-                continue
-            remaining = job.remaining()
-            total += self.strategy.target_replicas(
+        active = (
+            self.runtime_manager.replica_count(kind)
+            if active_replicas is None
+            else active_replicas
+        )
+        for (mean_exec_s, remaining), count in self._groups.get(
+            kind, {}
+        ).items():
+            total += count * self.strategy.target_replicas(
                 total_functions=remaining,
-                active_replicas=self.runtime_manager.replica_count(kind),
+                active_replicas=active,
                 estimator=self.estimator,
-                mean_function_duration_s=job.workload.mean_exec_s,
+                mean_function_duration_s=mean_exec_s,
                 replacement_window_s=window,
             )
         return total
@@ -106,9 +180,9 @@ class ReplicationModule:
 
     def current_for_kind(self, kind: RuntimeKind) -> int:
         """Warm replicas + in-flight replica cold starts."""
-        pending = self._pending.get(kind, [])
-        pending[:] = [r for r in pending if self._is_inflight(r)]
-        return self.runtime_manager.replica_count(kind) + len(pending)
+        return self.runtime_manager.replica_count(kind) + len(
+            self._pending.get(kind, ())
+        )
 
     def reconcile(self, kind: RuntimeKind) -> None:
         """Launch or retire replicas so the pool matches the target.
@@ -118,8 +192,9 @@ class ReplicationModule:
         the required one, determine ``rep_loc`` and launch; when the pool
         exceeds the target (jobs finished), retire the surplus.
         """
-        target = self.target_for_kind(kind)
-        current = self.current_for_kind(kind)
+        active = self.runtime_manager.replica_count(kind)
+        target = self.target_for_kind(kind, active_replicas=active)
+        current = active + len(self._pending.get(kind, ()))
         if current < target:
             for _ in range(target - current):
                 if not self._launch_replica(kind):
@@ -141,11 +216,7 @@ class ReplicationModule:
         job = self._job_for_kind(kind)
         runtime = self.controller.runtimes.get(kind)
         memory = job.request.function_memory_bytes if job else runtime.memory_bytes
-        function_nodes = [
-            c.node
-            for c in self.controller.active_containers(ContainerPurpose.FUNCTION)
-            if c.kind == kind
-        ]
+        function_nodes = self.controller.function_hosting_nodes(kind)
         existing = self.runtime_manager.replica_locations(kind)
         node = self.placer.choose_node(
             memory_bytes=memory,
@@ -156,33 +227,52 @@ class ReplicationModule:
             return False
         job_id = job.job_id if job else ""
         replica_id = self.ids.replica_id()
+        token = next(self._pending_seq)
+
+        def _placed(container: Container) -> None:
+            self._token_by_container[container.container_id] = token
 
         def _ready(container: Container) -> None:
+            # Leave the in-flight set the moment the replica turns warm;
+            # from here on ``replica_count`` accounts for it.
+            self._pending.get(kind, {}).pop(token, None)
+            self._token_by_container.pop(container.container_id, None)
             self.runtime_manager.register_replica(container, job_id, replica_id)
 
         request = ContainerRequest(
             kind=kind,
             purpose=ContainerPurpose.REPLICA,
+            on_placed=_placed,
             on_ready=_ready,
             memory_bytes=memory,
             preferred_node=node.node_id,
             warm=True,
         )
         self.controller.submit(request)
-        self._pending.setdefault(kind, []).append(request)
+        self._pending.setdefault(kind, {})[token] = request
         self.replicas_launched += 1
         return True
 
     def _retire_surplus(self, kind: RuntimeKind, surplus: int) -> None:
-        # Cancel pending launches first (cheapest), then kill idle replicas.
-        pending = self._pending.get(kind, [])
+        # Cancel pending launches first (cheapest), then kill idle
+        # replicas.  Most-recent launch first, matching the order the
+        # purged in-flight list used to pop from its tail; entries that
+        # already stopped being in-flight are dropped without counting.
+        pending = self._pending.get(kind, {})
         while surplus > 0 and pending:
-            request = pending.pop()
+            token = next(reversed(pending))
+            request = pending.pop(token)
+            if not self._is_inflight(request):
+                continue
             request.cancel()
-            if request.container is not None and not request.container.terminal:
-                self.controller.terminate(
-                    request.container, ContainerState.KILLED
+            if request.container is not None:
+                self._token_by_container.pop(
+                    request.container.container_id, None
                 )
+                if not request.container.terminal:
+                    self.controller.terminate(
+                        request.container, ContainerState.KILLED
+                    )
             surplus -= 1
             self.replicas_retired += 1
         if surplus <= 0:
@@ -210,6 +300,10 @@ class ReplicationModule:
     def _handle_container_loss(self, container: Container, reason: str) -> None:
         if container.purpose != ContainerPurpose.REPLICA:
             return
+        token = self._token_by_container.pop(container.container_id, None)
+        if token is not None:
+            # Died mid cold start: drop it from the in-flight set.
+            self._pending.get(container.kind, {}).pop(token, None)
         self.runtime_manager.unregister_replica(container)
         self.reconcile(container.kind)
 
@@ -220,5 +314,10 @@ class ReplicationModule:
         self.estimator.record_failure()
         self.reconcile(kind)
 
-    def observe_function_success(self, kind: RuntimeKind) -> None:
+    def observe_function_success(
+        self, kind: RuntimeKind, job: Optional["Job"] = None
+    ) -> None:
+        """A function completed; its job's ``remaining()`` just dropped."""
+        if job is not None:
+            self._refresh(job)
         self.estimator.record_success()

@@ -27,6 +27,16 @@ class RuntimeManagerModule:
         self._active_functions: dict[RuntimeKind, set[str]] = {}
         # kind -> {container_id: (Container, job_id, replica_id)}
         self._replicas: dict[RuntimeKind, dict[str, tuple[Container, str, str]]] = {}
+        # Incremental warm-idle tally mirroring the registry scan.  A
+        # registered replica is warm-idle from registration until it is
+        # claimed, unregistered, or its node dies; every one of those
+        # transitions funnels through this module (``note_node_dead``
+        # covers the node-death fanout window, during which dead-node
+        # replicas are still registered but no longer warm-idle), so the
+        # tally always equals the scan — without the O(pool) scan per
+        # reconcile that dominated large open-loop traffic runs.
+        self._idle_count: dict[RuntimeKind, int] = {}
+        self._counted: set[str] = set()
         self._claim_listeners: list[Callable[[RuntimeKind, str], None]] = []
         self._availability_listeners: list[Callable[[RuntimeKind], None]] = []
         self.claims_served = 0
@@ -75,6 +85,11 @@ class RuntimeManagerModule:
         self._replicas.setdefault(container.kind, {})[
             container.container_id
         ] = (container, job_id, replica_id)
+        if container.is_warm_idle:
+            self._idle_count[container.kind] = (
+                self._idle_count.get(container.kind, 0) + 1
+            )
+            self._counted.add(container.container_id)
         if self.database is not None:
             self.database.replication_info.upsert(
                 {
@@ -97,7 +112,26 @@ class RuntimeManagerModule:
         recovery paths waiting for a replica subscribe here."""
         self._availability_listeners.append(listener)
 
+    def _discount(self, container: Container) -> None:
+        if container.container_id in self._counted:
+            self._counted.discard(container.container_id)
+            self._idle_count[container.kind] -= 1
+
+    def note_node_dead(self, node_id: str) -> None:
+        """Drop dead-node replicas from the warm-idle tally.
+
+        Called at the *top* of the node-failure fanout (before any
+        container-loss listener runs), matching the instant the scan-based
+        count stopped seeing them: ``node.alive`` flips before listeners
+        fire, but the per-container unregister only lands mid-fanout.
+        """
+        for entries in self._replicas.values():
+            for c, _, _ in entries.values():
+                if c.node.node_id == node_id:
+                    self._discount(c)
+
     def unregister_replica(self, container: Container) -> None:
+        self._discount(container)
         entry = self._replicas.get(container.kind, {}).pop(
             container.container_id, None
         )
@@ -108,10 +142,9 @@ class RuntimeManagerModule:
             )
 
     def replica_count(self, kind: RuntimeKind, *, warm_only: bool = True) -> int:
-        entries = self._replicas.get(kind, {})
         if not warm_only:
-            return len(entries)
-        return sum(1 for c, _, _ in entries.values() if c.is_warm_idle)
+            return len(self._replicas.get(kind, {}))
+        return self._idle_count.get(kind, 0)
 
     def replica_locations(self, kind: RuntimeKind) -> list[Node]:
         return [
@@ -179,6 +212,7 @@ class RuntimeManagerModule:
             )
         # The adopted container stops being a replica and becomes the
         # function's host; drop it from the registry and announce the claim.
+        self._discount(chosen)
         del self._replicas[kind][chosen.container_id]
         for listener in self._claim_listeners:
             listener(kind, entry[1])

@@ -69,7 +69,7 @@ class RecoveryStrategy(ABC):
         """Called once per function at successful completion."""
         if self.ctx.replication is not None:
             self.ctx.replication.observe_function_success(
-                execution.profile.runtime
+                execution.profile.runtime, job=execution.job
             )
 
     # ------------------------------------------------------------------

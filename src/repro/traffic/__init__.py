@@ -1,0 +1,38 @@
+"""Open-loop multi-tenant production traffic.
+
+Tenants with isolated RNG streams feed composable arrival processes
+(Poisson, diurnal, MMPP on-off, trace replay) into the platform's
+admission queue under a deterministic ``(time, tenant, seq)`` total order.
+See DESIGN.md §S38.
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    trace_from_file,
+)
+from repro.traffic.replay import TenantStats, TrafficSource
+from repro.traffic.tenant import (
+    Invocation,
+    Tenant,
+    TrafficConfig,
+    generate_invocations,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "DiurnalArrivals",
+    "Invocation",
+    "OnOffArrivals",
+    "PoissonArrivals",
+    "Tenant",
+    "TenantStats",
+    "TraceArrivals",
+    "TrafficConfig",
+    "TrafficSource",
+    "generate_invocations",
+    "trace_from_file",
+]
