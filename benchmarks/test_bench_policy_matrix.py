@@ -1,0 +1,185 @@
+"""Placement-policy tournament: policy × workload × chaos → ``BENCH_policy.json``.
+
+Every placement policy in the S39 zoo runs the same open-loop traffic cell
+against each chaos archetype (plus a no-chaos baseline) on a contended
+10 GbE fabric, and the matrix records the four tournament scores: makespan,
+p99 latency of *admitted* invocations, SLO violations, and dollar cost.
+Per-(workload, archetype) winners and a win-count leaderboard are part of
+the tracked artifact — the point is to see *which* policy wins *where*
+(locality under no chaos, suspicion/contention once gray failures and
+saturated links appear), not to crown one globally.
+
+Structural guards (machine-independent, asserted in smoke mode too):
+
+* the default ``locality`` policy is byte-identical to a platform built
+  with no ``placement`` argument at all (the off-by-default pledge);
+* every policy's cell re-run at the same seed is bit-identical down to the
+  per-tenant rows (placement is a pure function of the seed);
+* every cell admits work (no policy wedges the platform).
+
+``BENCH_SMOKE=1`` (CI) shrinks to three policies, one workload, and a
+short horizon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.detection import BackoffPolicy, DetectionConfig
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario, run_traffic
+from repro.faults.chaos import ChaosConfig
+from repro.network.config import get_network_preset
+from repro.policies import PLACEMENT_POLICIES
+from repro.sla.policy import SLAPolicy
+from repro.traffic import PoissonArrivals, Tenant, TrafficConfig
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_policy.json"
+SMOKE = os.environ.get("BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
+SEED = 0
+DEADLINE = SLAPolicy(deadline_s=30.0)
+
+POLICIES = (
+    ("locality", "round-robin", "contention")
+    if SMOKE
+    else tuple(PLACEMENT_POLICIES)
+)
+WORKLOADS = ("micro-python",) if SMOKE else ("micro-python", "web-service")
+DURATION_S = 20.0 if SMOKE else 60.0
+
+#: Archetype name -> ChaosConfig (None = no chaos; detection/backoff ride
+#: along whenever chaos is injected, as in BENCH_chaos).
+ARCHETYPES: dict[str, ChaosConfig | None] = {
+    "none": None,
+    "straggler": ChaosConfig(
+        stragglers=2,
+        straggler_window=(5.0, 12.0),
+        straggler_duration_s=8.0,
+        straggler_slowdown=0.25,
+    ),
+    "zombie": ChaosConfig(
+        zombies=1, zombie_window=(6.0, 7.0), zombie_kill_after_s=25.0
+    ),
+}
+
+
+def cell_scenario(
+    policy: str, workload: str, archetype: str
+) -> ScenarioConfig:
+    chaos = ARCHETYPES[archetype]
+    kwargs = {}
+    if chaos is not None:
+        kwargs = dict(
+            chaos=chaos,
+            detection=DetectionConfig(),
+            backoff=BackoffPolicy(),
+        )
+    tenants = (
+        Tenant(
+            name="load",
+            arrivals=PoissonArrivals(rate_per_s=3.0),
+            workloads=(workload,),
+            sla=DEADLINE,
+        ),
+    )
+    return ScenarioConfig(
+        workload=workload,
+        strategy="canary",
+        error_rate=0.05,
+        num_nodes=8,
+        network=get_network_preset("10gbe"),
+        traffic=TrafficConfig(tenants=tenants, duration_s=DURATION_S),
+        placement=policy,
+        **kwargs,
+    )
+
+
+def run_cell(policy: str, workload: str, archetype: str):
+    return run_traffic(cell_scenario(policy, workload, archetype), seed=SEED)
+
+
+def score_row(policy: str, workload: str, archetype: str, result) -> dict:
+    summary = result.summary
+    admitted = summary.invocations_offered - summary.invocations_shed
+    return {
+        "policy": policy,
+        "workload": workload,
+        "archetype": archetype,
+        "offered": summary.invocations_offered,
+        "admitted": admitted,
+        "shed": summary.invocations_shed,
+        "slo_violations": summary.slo_violations,
+        "admitted_p99_s": round(summary.latency_p99_s, 6),
+        "makespan_s": round(summary.makespan_s, 3),
+        "cost_total": round(summary.cost_total, 5),
+    }
+
+
+def test_policy_tournament():
+    matrix = []
+    for policy in POLICIES:
+        for workload in WORKLOADS:
+            for archetype in ARCHETYPES:
+                result = run_cell(policy, workload, archetype)
+                row = score_row(policy, workload, archetype, result)
+                # No policy may wedge the platform: work is admitted and
+                # the horizon drains.
+                assert row["admitted"] > 0, row
+                assert row["makespan_s"] > 0, row
+                matrix.append(row)
+
+    # Off-by-default pledge: an untouched ScenarioConfig defaults to
+    # locality, and a platform built with no placement argument at all is
+    # byte-identical to an explicit --placement locality run.
+    base = ScenarioConfig(
+        workload="graph-bfs", strategy="canary", error_rate=0.15
+    )
+    assert base.placement == "locality"
+    assert asdict(run_scenario(base, seed=42)) == asdict(
+        run_scenario(base.with_(placement="locality"), seed=42)
+    )
+
+    # Purity: each policy's zombie cell re-run at the same seed is
+    # bit-identical down to the per-tenant latency rows.
+    for policy in POLICIES:
+        first = run_cell(policy, WORKLOADS[0], "zombie")
+        second = run_cell(policy, WORKLOADS[0], "zombie")
+        assert asdict(first.summary) == asdict(second.summary), policy
+        assert first.tenants == second.tenants, policy
+
+    # Tournament: per-(workload, archetype) winner on admitted p99
+    # (makespan breaks ties), plus a win-count leaderboard.
+    winners = {}
+    for workload in WORKLOADS:
+        for archetype in ARCHETYPES:
+            cells = [
+                r
+                for r in matrix
+                if r["workload"] == workload and r["archetype"] == archetype
+            ]
+            best = min(
+                cells, key=lambda r: (r["admitted_p99_s"], r["makespan_s"])
+            )
+            winners[f"{workload}/{archetype}"] = best["policy"]
+    leaderboard = {p: 0 for p in POLICIES}
+    for policy in winners.values():
+        leaderboard[policy] += 1
+
+    record = {
+        "smoke": SMOKE,
+        "seed": SEED,
+        "duration_s": DURATION_S,
+        "policies": list(POLICIES),
+        "workloads": list(WORKLOADS),
+        "archetypes": list(ARCHETYPES),
+        "matrix": matrix,
+        "winners": winners,
+        "leaderboard": leaderboard,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))

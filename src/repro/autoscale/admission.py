@@ -49,13 +49,21 @@ class AdmissionConfig:
 
 
 class TokenBucket:
-    """A deterministic token bucket on the virtual clock."""
+    """A deterministic token bucket on the virtual clock.
 
-    def __init__(self, rate_per_s: float, burst: float) -> None:
+    ``anchor`` is the virtual time the bucket comes into existence; for
+    tenants discovered mid-run (trace replay) it must be their first-seen
+    time, or the first ``try_take`` would credit the whole run-so-far as
+    elapsed refill and wave the initial burst through twice over.
+    """
+
+    def __init__(
+        self, rate_per_s: float, burst: float, anchor: float = 0.0
+    ) -> None:
         self.rate_per_s = rate_per_s
         self.burst = burst
         self.tokens = burst
-        self._last_refill = 0.0
+        self._last_refill = anchor
 
     def try_take(self, now: float) -> bool:
         """Refill for the elapsed virtual time, then spend one token."""
@@ -95,8 +103,20 @@ class AdmissionController:
         ):
             self.shed_overload += 1
             return False
-        bucket = self._buckets.get(tenant)
-        if bucket is not None and not bucket.try_take(now):
-            self.shed_throttled += 1
-            return False
+        if self.config.tenant_rate_per_s is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                # Tenant not in the construction-time list (it surfaced
+                # mid-run via a replayed trace): create its bucket lazily
+                # at first sight, refill-anchored *now* — otherwise the
+                # hot unknown tenant would bypass throttling entirely.
+                bucket = TokenBucket(
+                    self.config.tenant_rate_per_s,
+                    self.config.tenant_burst,
+                    anchor=now,
+                )
+                self._buckets[tenant] = bucket
+            if not bucket.try_take(now):
+                self.shed_throttled += 1
+                return False
         return True

@@ -136,6 +136,7 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         detection=detection,
         backoff=backoff,
         shards=getattr(args, "shards", 1),
+        placement=getattr(args, "placement", "locality"),
     )
 
 
@@ -340,6 +341,8 @@ def _figure_command(args: argparse.Namespace) -> int:
         kwargs["jobs"] = args.jobs
     if args.shards is not None:
         kwargs["shards"] = args.shards
+    if args.placement is not None:
+        kwargs["placement"] = args.placement
     result = module.run(**kwargs)
     print(format_table(result))
     if args.chart:
@@ -389,6 +392,13 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="N|auto",
                         help="event shards (1 = serial engine, 'auto' = one "
                         "per rack); any value is byte-identical to 1")
+    from repro.policies import PLACEMENT_POLICIES
+
+    parser.add_argument("--placement", default="locality",
+                        choices=sorted(PLACEMENT_POLICIES),
+                        help="S39 placement policy for cold starts and "
+                        "replicas (locality = the paper's rules, "
+                        "byte-identical to the pre-policy platform)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -474,6 +484,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N|auto",
                         help="event shards per cell (byte-identical to the "
                         "default serial engine)")
+    from repro.policies import PLACEMENT_POLICIES
+
+    figure.add_argument("--placement", default=None,
+                        choices=sorted(PLACEMENT_POLICIES),
+                        help="override every cell's S39 placement policy "
+                        "(default: each scenario's own, i.e. locality)")
     figure.add_argument("--chart", action="store_true",
                         help="append a terminal bar chart of the first "
                         "numeric column")

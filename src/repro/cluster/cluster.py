@@ -124,6 +124,14 @@ class Cluster:
             return None
         weights = np.array([n.profile.failure_weight for n in alive], dtype=float)
         total = weights.sum()
+        # Both branches must consume the stream identically: ``choice``
+        # with an explicit ``p`` inverts one uniform draw regardless of
+        # the weights, whereas ``integers`` uses Lemire rejection — mixing
+        # them made flipping a profile's failure_weight between 0 and ε
+        # perturb every subsequent draw on the stream.  All-zero weights
+        # therefore degrade to a uniform ``p``, not to ``integers``.
         if total <= 0:
-            return alive[int(rng.integers(len(alive)))]
-        return alive[int(rng.choice(len(alive), p=weights / total))]
+            probabilities = np.full(len(alive), 1.0 / len(alive))
+        else:
+            probabilities = weights / total
+        return alive[int(rng.choice(len(alive), p=probabilities))]

@@ -44,6 +44,8 @@ from repro.metrics.network import collect_network_stats
 from repro.metrics.summary import RunSummary, summarize
 from repro.network.config import NetworkModelConfig
 from repro.network.fabric import FlowNetwork
+from repro.policies.base import PlacementPolicy
+from repro.policies.factory import make_placement_policy
 from repro.replication.estimator import FailureRateEstimator
 from repro.replication.module import ReplicationModule
 from repro.replication.placement import ReplicaPlacer
@@ -89,6 +91,12 @@ class CanaryPlatform:
             (default) keeps the batch-submission interface untouched.
         autoscale: Node autoscaler config (``repro.autoscale``); None
             (default) keeps the node set fixed.
+        placement: S39 placement policy — a registry name
+            (``repro.policies.PLACEMENT_POLICIES``) or a pre-built
+            :class:`~repro.policies.PlacementPolicy` instance.  One
+            policy object serves both container cold starts and replica
+            placement.  The default ``"locality"`` is byte-identical to
+            the pre-policy platform.
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class CanaryPlatform:
         shards: int | str = 1,
         traffic: Optional["TrafficConfig"] = None,
         autoscale: Optional["AutoscaleConfig"] = None,
+        placement: str | PlacementPolicy = "locality",
     ) -> None:
         self.seed = seed
         self.config = config or PlatformConfig()
@@ -206,6 +215,11 @@ class CanaryPlatform:
             self.cluster.on_node_failure(
                 lambda node, lost: self.network.fail_endpoint(node.node_id)
             )
+        # One S39 policy object serves both placement decision points;
+        # the controller binds cluster/invokers/network at construction,
+        # and the detection/pricing handles are bound below once those
+        # subsystems exist.
+        self.placement = make_placement_policy(placement)
         self.controller = FaaSController(
             self.sim,
             self.cluster,
@@ -217,6 +231,7 @@ class CanaryPlatform:
             network=self.network,
             backoff=backoff,
             tracer=self.tracer,
+            policy=self.placement,
         )
         # Emergent failure detection (heartbeats feeding a phi-accrual
         # suspicion detector).  None keeps the constant-delay oracle used
@@ -231,6 +246,7 @@ class CanaryPlatform:
                 tracer=self.tracer,
                 on_reinstate=lambda node: self.controller.kick(),
             )
+        self.placement.bind(detection=self.detection, pricing=pricing)
         # Node autoscaler: scales Node.provisioned between the configured
         # bounds; detection coverage follows via watch/retire.
         self.autoscaler: Optional["NodeAutoscaler"] = None
@@ -317,7 +333,7 @@ class CanaryPlatform:
                 self.sim,
                 self.controller,
                 self.runtime_manager,
-                ReplicaPlacer(self.cluster),
+                ReplicaPlacer(self.cluster, policy=self.placement),
                 make_replication_strategy(replication_strategy),
                 self.ids,
                 estimator=FailureRateEstimator(

@@ -133,6 +133,10 @@ class DetectionModule:
         self._should_continue: Optional[Callable[[], bool]] = None
         self._started = False
         self._stopped = False
+        # Per-node suspicion history (true and false alike): the S39
+        # suspicion-aware placement policy reads this to distrust flappy
+        # nodes even after they are reinstated.
+        self.node_suspicions: dict[str, int] = {}
         # Statistics.
         self.heartbeats_sent = 0
         self.heartbeats_dropped = 0
@@ -331,6 +335,9 @@ class DetectionModule:
             return
         now = self.sim.now
         self.suspicions += 1
+        self.node_suspicions[node_id] = (
+            self.node_suspicions.get(node_id, 0) + 1
+        )
         self._suspected_at[node_id] = now
         if node.alive and not node.cordoned:
             # Cordon, don't kill: the node may merely be slow or cut off.
@@ -434,6 +441,22 @@ class DetectionModule:
 
     def is_declared(self, node_id: str) -> bool:
         return node_id in self._declared
+
+    def suspicion_score(self, node_id: str) -> float:
+        """Placement-facing distrust score for *node_id*.
+
+        Each historical suspicion (false positives included — a node the
+        detector flagged once is a gray-failure risk) counts 1; a live
+        suspicion adds 100 and a declared failure 1000, so the ordering
+        is declared > suspected > flappy > clean regardless of history
+        depth.
+        """
+        score = float(self.node_suspicions.get(node_id, 0))
+        if node_id in self._suspected_at:
+            score += 100.0
+        if node_id in self._declared:
+            score += 1000.0
+        return score
 
     def stats(self) -> DetectionStats:
         latencies = self.detection_latencies

@@ -12,6 +12,7 @@ from repro.core.config import PlatformConfig
 from repro.detection import BackoffPolicy, DetectionConfig
 from repro.faults.chaos import ChaosConfig
 from repro.network.config import NetworkModelConfig
+from repro.policies.factory import PLACEMENT_POLICIES
 from repro.traffic.tenant import TrafficConfig
 
 #: Error-rate sweep used throughout §V ("vary the error rate from 1% to 50%").
@@ -68,6 +69,10 @@ class ScenarioConfig:
     #: engine.  Byte-identity invariant: any value produces the same
     #: RunSummary/trace as ``shards=1`` at the same seed.
     shards: int | str = 1
+    #: S39 placement policy name (``repro.policies.PLACEMENT_POLICIES``).
+    #: The default ``"locality"`` keeps placement byte-identical to the
+    #: pre-policy platform.
+    placement: str = "locality"
 
     def __post_init__(self) -> None:
         if self.num_functions <= 0:
@@ -78,6 +83,12 @@ class ScenarioConfig:
             raise ValueError("num_functions must divide evenly into jobs")
         if self.shards != "auto" and int(self.shards) < 1:
             raise ValueError("shards must be >= 1 or 'auto'")
+        if self.placement not in PLACEMENT_POLICIES:
+            known = ", ".join(sorted(PLACEMENT_POLICIES))
+            raise ValueError(
+                f"unknown placement policy {self.placement!r} "
+                f"(known: {known})"
+            )
 
     def with_(self, **changes) -> "ScenarioConfig":
         """Functional update (thin wrapper over dataclasses.replace)."""

@@ -27,6 +27,7 @@ def run(
     num_functions: int = 100,
     jobs: Optional[int] = None,
     shards: Optional[int | str] = None,
+    placement: Optional[str] = None,
 ) -> FigureResult:
     grid = [
         (profile, strategy)
@@ -44,7 +45,9 @@ def run(
     ]
     rows: list[dict] = []
     for (profile, strategy), summaries in zip(
-        grid, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
+        grid, run_sweep(
+            scenarios, seeds, jobs=jobs, shards=shards, placement=placement
+        )
     ):
         row = mean_of(summaries)
         rows.append(

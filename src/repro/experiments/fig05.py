@@ -27,6 +27,7 @@ def run(
     error_rate: float = ERROR_RATE,
     jobs: Optional[int] = None,
     shards: Optional[int | str] = None,
+    placement: Optional[str] = None,
 ) -> FigureResult:
     workloads = list(workloads or (w.name for w in ALL_WORKLOADS))
     grid = [
@@ -46,7 +47,9 @@ def run(
     ]
     rows: list[dict] = []
     for (workload, strategy, n), summaries in zip(
-        grid, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
+        grid, run_sweep(
+            scenarios, seeds, jobs=jobs, shards=shards, placement=placement
+        )
     ):
         row = mean_of(summaries)
         rows.append(

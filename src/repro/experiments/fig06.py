@@ -30,6 +30,7 @@ def run(
     num_functions: int = 100,
     jobs: Optional[int] = None,
     shards: Optional[int | str] = None,
+    placement: Optional[str] = None,
 ) -> FigureResult:
     workloads = list(workloads or (w.name for w in ALL_WORKLOADS))
     scenarios = [
@@ -45,7 +46,9 @@ def run(
     ]
     rows: list[dict] = []
     for scenario, summaries in zip(
-        scenarios, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
+        scenarios, run_sweep(
+            scenarios, seeds, jobs=jobs, shards=shards, placement=placement
+        )
     ):
         row = mean_of(summaries)
         rows.append(

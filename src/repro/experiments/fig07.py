@@ -26,6 +26,7 @@ def run(
     workload: str = WORKLOAD,
     jobs: Optional[int] = None,
     shards: Optional[int | str] = None,
+    placement: Optional[str] = None,
 ) -> FigureResult:
     scenarios = [
         ScenarioConfig(
@@ -39,7 +40,9 @@ def run(
     ]
     rows: list[dict] = []
     for scenario, summaries in zip(
-        scenarios, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
+        scenarios, run_sweep(
+            scenarios, seeds, jobs=jobs, shards=shards, placement=placement
+        )
     ):
         row = mean_of(summaries)
         rows.append(

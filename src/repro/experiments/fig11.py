@@ -36,6 +36,7 @@ def run(
     workload: str = WORKLOAD,
     jobs: Optional[int] = None,
     shards: Optional[int | str] = None,
+    placement: Optional[str] = None,
 ) -> FigureResult:
     grid = [(strategy, n) for strategy in STRATEGIES for n in invocations]
     scenarios = [
@@ -52,7 +53,9 @@ def run(
     ]
     rows: list[dict] = []
     for (strategy, n), summaries in zip(
-        grid, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
+        grid, run_sweep(
+            scenarios, seeds, jobs=jobs, shards=shards, placement=placement
+        )
     ):
         row = mean_of(summaries)
         rows.append(

@@ -33,6 +33,7 @@ def run(
     workload: str = WORKLOAD,
     jobs: Optional[int] = None,
     shards: Optional[int | str] = None,
+    placement: Optional[str] = None,
 ) -> FigureResult:
     grid = [(strategy, nodes) for strategy in STRATEGIES for nodes in node_counts]
     scenarios = [
@@ -48,7 +49,9 @@ def run(
     ]
     rows: list[dict] = []
     for (strategy, nodes), summaries in zip(
-        grid, run_sweep(scenarios, seeds, jobs=jobs, shards=shards)
+        grid, run_sweep(
+            scenarios, seeds, jobs=jobs, shards=shards, placement=placement
+        )
     ):
         row = mean_of(summaries)
         rows.append(

@@ -200,6 +200,7 @@ def run_sweep(
     *,
     jobs: Optional[int] = None,
     shards: Optional[int | str] = None,
+    placement: Optional[str] = None,
 ) -> list[list[RunSummary]]:
     """Run every scenario at every seed; one summary list per scenario.
 
@@ -211,10 +212,16 @@ def run_sweep(
     ``shards`` (an int or ``"auto"``) overrides every scenario's event-shard
     count; results are byte-identical regardless (the sharded engine's
     invariant), so sweeps can flip it without perturbing any figure.
+
+    ``placement`` overrides every scenario's S39 placement policy — unlike
+    ``shards`` this *does* change results (that is the point): it re-runs a
+    whole figure under a different scheduling objective.
     """
     seeds = list(seeds)
     if shards is not None:
         scenarios = [s.with_(shards=shards) for s in scenarios]
+    if placement is not None:
+        scenarios = [s.with_(placement=placement) for s in scenarios]
     cells: list[Cell] = [
         (scenario, seed) for scenario in scenarios for seed in seeds
     ]

@@ -59,6 +59,7 @@ def _run_platform(
         shards=scenario.shards,
         traffic=scenario.traffic,
         autoscale=scenario.autoscale,
+        placement=scenario.placement,
     )
     if scenario.traffic is None:
         # Classic closed-loop batch; with traffic enabled the arrival

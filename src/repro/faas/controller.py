@@ -23,6 +23,8 @@ from repro.faas.container import Container, ContainerPurpose
 from repro.faas.invoker import Invoker
 from repro.faas.limits import PlatformLimits
 from repro.faas.runtimes import RuntimeRegistry
+from repro.policies.base import PlacementPolicy
+from repro.policies.builtin import LocalityPolicy
 from repro.sim.engine import Simulator
 from repro.trace.tracer import NULL_TRACER, NullTracer, Span
 
@@ -76,12 +78,17 @@ class FaaSController:
         network: Optional["FlowNetwork"] = None,
         tracer: Optional[NullTracer] = None,
         backoff: Optional["BackoffPolicy"] = None,
+        policy: Optional[PlacementPolicy] = None,
     ) -> None:
         """
         Args:
             network: Flow-level fabric; when set, cold-start image pulls
                 compete for registry/fabric bandwidth instead of being
                 folded into the fixed launch time.
+            policy: Placement policy ranking the filtered hosting
+                candidates for each cold start (S39).  ``None`` keeps the
+                default locality ranking — byte-identical to the
+                pre-policy controller.
             backoff: Retry policy for queued placement requests; each
                 queued request re-drives the queue on a jittered
                 exponential schedule (models controller retry loops
@@ -118,6 +125,14 @@ class FaaSController:
             )
             for node in cluster.nodes
         }
+        # S39 placement policy: ranks the filtered candidates at both
+        # decision points (cold starts here, replicas at the placer).
+        # Bound to the handles that exist at controller-construction
+        # time; the platform binds detection/pricing later.
+        self.policy = policy if policy is not None else LocalityPolicy()
+        self.policy.bind(
+            cluster=cluster, invokers=self.invokers, network=network
+        )
         self.containers: dict[str, Container] = {}
         #: Non-terminal containers only.  ``containers`` keeps every
         #: container ever created (cost accounting reads it once at the
@@ -259,10 +274,10 @@ class FaaSController:
             candidates = self.cluster.hosting_candidates(memory)
         if not candidates:
             return None
-        return max(
-            candidates,
-            key=lambda n: (n.slots_free, n.profile.speed_factor, -n.index),
-        )
+        # Filtering (preferred node, anti-affinity, capacity, fallback)
+        # stays here — it is platform machinery every policy must honor;
+        # only the final ranking is the policy's call.
+        return self.policy.select_node(candidates)
 
     def submit(self, request: ContainerRequest) -> ContainerRequest:
         """Place *request* now if possible, else queue it FIFO."""

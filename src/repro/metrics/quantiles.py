@@ -17,7 +17,27 @@ quantile read-backs, which is what lets benches ``cmp`` repeated runs.
 from __future__ import annotations
 
 from bisect import bisect_left
+from fractions import Fraction
 from typing import Iterable, Optional
+
+
+def nearest_rank(q: float, count: int) -> int:
+    """Exact nearest-rank index: ``ceil(q * count)``, clamped to ``>= 1``.
+
+    Computed in integers via the *decimal* rational value of ``q``
+    (``Fraction(str(q))``), so ``q=0.99`` means exactly 99/100 — at
+    ``count=100`` the rank is exactly 99, and at any count an integral
+    ``q*count`` never rounds up to the next rank the way the old
+    float-fudge ``int(q*count + 0.9999999999)`` did (off by one whenever
+    the fudge pushed an exact product across the next integer, e.g.
+    ``q=0.5, count=10**7``).
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    fraction = Fraction(str(q))
+    numerator = fraction.numerator * count
+    denominator = fraction.denominator
+    return max(1, -(-numerator // denominator))
 
 
 class LatencySketch:
@@ -110,7 +130,7 @@ class LatencySketch:
         if self.count == 0:
             return 0.0
         # Rank of the q-quantile under the "nearest-rank" definition.
-        rank = max(1, int(q * self.count + 0.9999999999))
+        rank = nearest_rank(q, self.count)
         seen = 0
         for index, bucket in enumerate(self._counts):
             seen += bucket

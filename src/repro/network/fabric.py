@@ -228,6 +228,27 @@ class FlowNetwork:
     def serves_tier(self, tier_name: str) -> bool:
         return tier_name in self._service_rx
 
+    def node_pressure(self, node_id: str) -> int:
+        """Active flows crossing *node_id*'s NICs and its rack uplinks.
+
+        The live contention signal for S39 contention-aware placement: a
+        cold start placed here pulls its image through exactly these
+        links, so the count of flows already on them is the competition
+        it would face.  Unknown nodes (scale-out races) read as zero.
+        """
+        pressure = 0
+        for name in (f"nic-tx:{node_id}", f"nic-rx:{node_id}"):
+            link = self._links.get(name)
+            if link is not None:
+                pressure += link.active_flows
+        rack = self._node_rack.get(node_id)
+        if rack is not None:
+            for name in (f"up-tx:{rack}", f"up-rx:{rack}"):
+                link = self._links.get(name)
+                if link is not None:
+                    pressure += link.active_flows
+        return pressure
+
     # ------------------------------------------------------------------
     # Path construction
     # ------------------------------------------------------------------

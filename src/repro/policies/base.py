@@ -1,0 +1,125 @@
+"""The pluggable placement-policy contract.
+
+Two decision points share one policy object per platform:
+
+* **Container placement** — the FaaS controller filters the hosting
+  candidates (preferred node, anti-affinity, capacity) and hands the
+  surviving list to :meth:`PlacementPolicy.select_node`.
+* **Replica placement** — the Replication Module's
+  :class:`~repro.replication.placement.ReplicaPlacer` delegates the
+  §IV-C-5-b locality/anti-affinity decision to
+  :meth:`PlacementPolicy.select_replica_node`, passing the nodes that host
+  the job's functions and the existing replica set.
+
+Policies are *pure rankers*: they draw no randomness and mutate no platform
+state (round-robin keeps a private cursor, which is a deterministic
+function of the call sequence).  Enabling a non-default policy therefore
+keeps a run a pure function of the seed, and the default
+:class:`~repro.policies.builtin.LocalityPolicy` reproduces the pre-policy
+placement byte-identically.
+
+Richer policies read live platform signals through handles attached with
+:meth:`PlacementPolicy.bind`: the S33 flow fabric (link utilization), the
+S36 suspicion detector (phi history), the per-node invokers (cold-start
+backlog), and the billing model.  Handles are optional — every policy must
+degrade to a deterministic static ranking when a signal is absent, so the
+same policy name works in scenarios with and without those subsystems.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import Node
+
+
+class PlacementPolicy:
+    """Base class: deterministic node selection for containers + replicas.
+
+    Subclasses override :meth:`select_node` and (optionally)
+    :meth:`select_replica_node`; the default replica rule filters to the
+    policy's own container ranking, so simple policies only write one
+    method.
+    """
+
+    #: Registry key; subclasses set their own.
+    name = "base"
+
+    def __init__(self) -> None:
+        self.cluster: Optional["Cluster"] = None
+        #: node_id -> Invoker; cold-start backlog signal (load policies).
+        self.invokers: Optional[dict] = None
+        #: S33 FlowNetwork; live link utilization (contention policy).
+        self.network: Any = None
+        #: S36 DetectionModule; suspicion history (suspicion policy).
+        self.detection: Any = None
+        #: PricingModel; dollar scoring (cost policy).
+        self.pricing: Any = None
+
+    def bind(self, **handles: Any) -> "PlacementPolicy":
+        """Attach platform handles (only the ones provided are updated).
+
+        Called incrementally during platform assembly: the cluster and
+        fabric exist before the controller, the detector after it, so the
+        platform binds in two steps.  Unknown handle names are rejected to
+        catch wiring typos.
+        """
+        for key, value in handles.items():
+            if key not in (
+                "cluster",
+                "invokers",
+                "network",
+                "detection",
+                "pricing",
+            ):
+                raise TypeError(f"unknown policy handle {key!r}")
+            if value is not None:
+                setattr(self, key, value)
+        return self
+
+    # ------------------------------------------------------------------
+    # Decision points
+    # ------------------------------------------------------------------
+    def select_node(self, candidates: Sequence["Node"]) -> Optional["Node"]:
+        """Pick the node for a container cold start.
+
+        ``candidates`` is the controller's already-filtered hosting list
+        (alive, uncordoned, capacity, anti-affinity applied); the policy
+        only ranks.  Must return a member of ``candidates`` or ``None``.
+        """
+        raise NotImplementedError
+
+    def select_replica_node(
+        self,
+        candidates: Sequence["Node"],
+        *,
+        function_nodes: Sequence["Node"],
+        existing_replica_nodes: Sequence["Node"],
+    ) -> Optional["Node"]:
+        """Pick the node for the next warm replica (§IV-C-5-b inputs).
+
+        The default keeps the anti-affinity half of the locality rule —
+        prefer nodes not already holding a replica — then applies the
+        policy's own container ranking, so load/cost/contention policies
+        stay spread-aware without re-implementing the topology walk.
+        """
+        if not candidates:
+            return None
+        taken = {node.node_id for node in existing_replica_nodes}
+        fresh = [node for node in candidates if node.node_id not in taken]
+        return self.select_node(fresh or list(candidates))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def static_key(node: "Node") -> tuple:
+    """Shared deterministic tie-break: faster, emptier, lower index.
+
+    Every built-in policy ends its ranking with this tuple so equal-score
+    candidates resolve identically across policies (and across runs).
+    """
+    return (node.profile.speed_factor, node.slots_free, -node.index)

@@ -1,0 +1,54 @@
+"""Policy registry: name → class, plus the construction helper.
+
+The registry is the single source of the CLI's ``--placement`` choices,
+``ScenarioConfig.placement`` validation, and the tournament bench's policy
+axis — adding a policy here surfaces it everywhere at once.
+"""
+
+from __future__ import annotations
+
+from typing import Type, Union
+
+from repro.policies.base import PlacementPolicy
+from repro.policies.builtin import (
+    ContentionAwarePolicy,
+    CostMinimizingPolicy,
+    LeastLoadedPolicy,
+    LocalityPolicy,
+    RoundRobinPolicy,
+    SuspicionAwarePolicy,
+)
+
+#: name -> policy class, in documentation order (locality is the default).
+PLACEMENT_POLICIES: dict[str, Type[PlacementPolicy]] = {
+    LocalityPolicy.name: LocalityPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    ContentionAwarePolicy.name: ContentionAwarePolicy,
+    CostMinimizingPolicy.name: CostMinimizingPolicy,
+    SuspicionAwarePolicy.name: SuspicionAwarePolicy,
+}
+
+DEFAULT_PLACEMENT = LocalityPolicy.name
+
+
+def make_placement_policy(
+    placement: Union[str, PlacementPolicy, None],
+) -> PlacementPolicy:
+    """Resolve *placement* (name, instance, or None) to a policy object.
+
+    Instances pass through untouched so tests and embedders can supply a
+    pre-configured (or custom) policy; ``None`` means the default.
+    """
+    if placement is None:
+        placement = DEFAULT_PLACEMENT
+    if isinstance(placement, PlacementPolicy):
+        return placement
+    try:
+        cls = PLACEMENT_POLICIES[placement]
+    except KeyError:
+        known = ", ".join(sorted(PLACEMENT_POLICIES))
+        raise ValueError(
+            f"unknown placement policy {placement!r} (known: {known})"
+        ) from None
+    return cls()

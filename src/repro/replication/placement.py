@@ -4,6 +4,12 @@
 Further replicas are placed away from the worker hosting the first replica
 to avoid a single point of failure … placement decisions are locality aware
 and take into account the location of worker nodes in the data center."
+
+Since the S39 policy layer, the locality/anti-affinity decision itself
+lives in :class:`~repro.policies.builtin.LocalityPolicy` (the default,
+byte-identical to the rules that used to be inlined here); the placer owns
+the candidate filtering and the spread diagnostic, and delegates the
+ranking to whichever policy the platform selected.
 """
 
 from __future__ import annotations
@@ -12,13 +18,19 @@ from typing import Iterable, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
+from repro.policies.base import PlacementPolicy
+from repro.policies.builtin import LocalityPolicy
 
 
 class ReplicaPlacer:
     """Chooses nodes for new runtime replicas."""
 
-    def __init__(self, cluster: Cluster) -> None:
+    def __init__(
+        self, cluster: Cluster, policy: Optional[PlacementPolicy] = None
+    ) -> None:
         self.cluster = cluster
+        self.policy = policy if policy is not None else LocalityPolicy()
+        self.policy.bind(cluster=cluster)
 
     def choose_node(
         self,
@@ -29,55 +41,21 @@ class ReplicaPlacer:
     ) -> Optional[Node]:
         """Pick the node for the next replica.
 
-        Rule 1 — the *first* replica co-locates with a worker hosting one of
-        the job's functions (warm locality: adopting it avoids cross-node
-        state movement).
-
-        Rule 2 — subsequent replicas move *away*: maximize topology distance
-        from existing replicas (different rack first, different node second),
-        avoiding a single point of failure.
-
-        Ties break toward faster, emptier nodes for minimal recovery time on
-        heterogeneous resources.
+        Default (locality) rules — Rule 1: the *first* replica co-locates
+        with a worker hosting one of the job's functions (warm locality:
+        adopting it avoids cross-node state movement).  Rule 2: subsequent
+        replicas move *away*, maximizing topology distance from existing
+        replicas (different rack first, different node second) to avoid a
+        single point of failure, with ties toward faster, emptier nodes.
+        Non-default policies substitute their own objective.
         """
         candidates = self.cluster.hosting_candidates(memory_bytes)
         if not candidates:
             return None
-
-        if not existing_replica_nodes:
-            hosting_ids = {n.node_id for n in function_nodes if n.alive}
-            co_located = [c for c in candidates if c.node_id in hosting_ids]
-            pool = co_located or candidates
-            return max(
-                pool,
-                key=lambda n: (n.profile.speed_factor, n.slots_free, -n.index),
-            )
-
-        # The topology's distance is coarse (same node < same rack <
-        # cross rack), so the minimum over the replica set collapses to
-        # two membership tests.  Precomputing the sets keeps placement
-        # O(candidates + replicas) instead of O(candidates × replicas),
-        # which matters when open-loop traffic keeps hundreds of
-        # replicas alive on large clusters.
-        topo = self.cluster.topology
-        replica_ids = {other.node_id for other in existing_replica_nodes}
-        replica_racks = {other.rack for other in existing_replica_nodes}
-
-        def min_distance(candidate: Node) -> int:
-            if candidate.node_id in replica_ids:
-                return topo.SAME_NODE
-            if candidate.rack in replica_racks:
-                return topo.SAME_RACK
-            return topo.CROSS_RACK
-
-        return max(
+        return self.policy.select_replica_node(
             candidates,
-            key=lambda n: (
-                min_distance(n),            # farthest from existing replicas
-                n.profile.speed_factor,
-                n.slots_free,
-                -n.index,
-            ),
+            function_nodes=function_nodes,
+            existing_replica_nodes=existing_replica_nodes,
         )
 
     def spread_score(self, nodes: Iterable[Node]) -> float:

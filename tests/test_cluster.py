@@ -254,3 +254,78 @@ class TestCluster:
         cluster = Cluster(1)
         cluster.fail_node("node-00", 0.0)
         assert cluster.pick_failure_victim(np.random.default_rng(0)) is None
+
+
+def _uniform_weight_profiles(weight: float) -> tuple[NodeProfile, ...]:
+    return (
+        NodeProfile(
+            name=f"sku-w{weight}",
+            speed_factor=1.0,
+            memory_bytes=gb(192),
+            container_slots=48,
+            failure_weight=weight,
+        ),
+    )
+
+
+class TestVictimStreamUnification:
+    """Regression: both weight branches must draw via the same primitive.
+
+    The zero-total-weight branch used to draw via ``rng.integers`` (Lemire
+    rejection) while the weighted branch used ``rng.choice`` (inverse-CDF
+    on one uniform), so flipping a profile's failure_weight between 0 and
+    ε changed the victim AND perturbed every subsequent draw on the
+    stream.  Post-fix both branches invert one uniform.
+    """
+
+    def test_zero_and_epsilon_weights_agree(self):
+        picks = {}
+        for weight in (0.0, 1e-9):
+            cluster = Cluster(
+                8,
+                heterogeneity=HeterogeneityModel(
+                    profiles=_uniform_weight_profiles(weight),
+                    rng=np.random.default_rng(1),
+                ),
+            )
+            rng = np.random.default_rng(7)
+            victim = cluster.pick_failure_victim(rng)
+            # Same victim, same residual stream state.
+            picks[weight] = (victim.node_id, float(rng.uniform()))
+        assert picks[0.0] == picks[1e-9]
+
+    def test_weighted_victim_stream_pinned(self):
+        # Pins ``choice`` as the draw primitive on the default profiles:
+        # any change to how the stream is consumed moves this sequence.
+        cluster = Cluster(8)
+        rng = np.random.default_rng(7)
+        sequence = [
+            cluster.pick_failure_victim(rng).node_id for _ in range(6)
+        ]
+        assert sequence == [
+            "node-04",
+            "node-07",
+            "node-06",
+            "node-01",
+            "node-02",
+            "node-07",
+        ]
+        assert float(rng.uniform()) == pytest.approx(
+            0.005265304566, abs=1e-12
+        )
+
+    def test_zero_weight_draw_is_uniform(self):
+        cluster = Cluster(
+            8,
+            heterogeneity=HeterogeneityModel(
+                profiles=_uniform_weight_profiles(0.0),
+                rng=np.random.default_rng(1),
+            ),
+        )
+        rng = np.random.default_rng(0)
+        counts: dict[str, int] = {}
+        for _ in range(800):
+            victim = cluster.pick_failure_victim(rng)
+            counts[victim.node_id] = counts.get(victim.node_id, 0) + 1
+        assert len(counts) == 8  # every node reachable
+        assert max(counts.values()) < 3 * min(counts.values())

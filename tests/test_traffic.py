@@ -6,11 +6,15 @@ from dataclasses import asdict
 import numpy as np
 import pytest
 
-from repro.autoscale.admission import AdmissionConfig, TokenBucket
+from repro.autoscale.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.parallel import run_cells
 from repro.experiments.runner import run_scenario, run_traffic
-from repro.metrics.quantiles import LatencySketch
+from repro.metrics.quantiles import LatencySketch, nearest_rank
 from repro.sim.rng import RngRegistry
 from repro.sla.policy import SLAPolicy
 from repro.traffic import (
@@ -221,6 +225,63 @@ def test_sketch_determinism():
     assert a._counts == b._counts
 
 
+class TestNearestRank:
+    """Regression: the rank must be exact ceiling arithmetic.
+
+    The old ``int(q * count + 0.9999999999)`` fudge was off by one
+    whenever the float product of an integral ``q*count`` plus the fudge
+    crossed the next integer (e.g. ``q=0.5, count=10**7`` ranked
+    5,000,001 instead of 5,000,000) and relied on the fudge being
+    simultaneously big enough and small enough at every scale.
+    """
+
+    QS = (0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0)
+
+    def test_integral_products_do_not_round_up(self):
+        # q*count exactly integral: rank must be exactly q*count.
+        assert nearest_rank(0.5, 10) == 5
+        assert nearest_rank(0.99, 100) == 99
+        assert nearest_rank(0.1, 10) == 1
+        assert nearest_rank(1.0, 7) == 7
+        # The documented pre-fix failure: the fudge pushed the exact
+        # product 5e6 * ... across the next integer at count=10**7.
+        count = 10**7
+        assert nearest_rank(0.5, count) == 5_000_000
+        old_rank = max(1, int(0.5 * count + 0.9999999999))
+        assert old_rank == 5_000_001  # what the pre-fix code computed
+
+    def test_count_one_every_q_ranks_first(self):
+        for q in self.QS:
+            assert nearest_rank(q, 1) == 1
+
+    @pytest.mark.parametrize("count", (1, 10, 100, 10**6))
+    def test_matches_numpy_inverted_cdf(self, count):
+        # Nearest-rank on sorted data IS numpy's inverted_cdf method;
+        # checking the selected element pins the rank at every boundary.
+        values = np.arange(1, count + 1, dtype=float)
+        for q in self.QS:
+            expected = float(
+                np.quantile(values, q, method="inverted_cdf")
+            )
+            assert values[nearest_rank(q, count) - 1] == expected, (q, count)
+
+    def test_fractional_products_round_up(self):
+        assert nearest_rank(0.5, 11) == 6      # ceil(5.5)
+        assert nearest_rank(0.999, 1000) == 999
+        assert nearest_rank(0.999, 1001) == 1000  # ceil(999.999...)
+
+    def test_sketch_p99_of_100_distinct_values(self):
+        # With 100 well-separated values p99 must surface the 99th, not
+        # the 100th: the rank boundary the fuzzy formula could cross.
+        sketch = LatencySketch()
+        values = [1.1**i for i in range(100)]
+        sketch.extend(values)
+        p99 = sketch.quantile(0.99)
+        exact = float(np.quantile(values, 0.99, method="inverted_cdf"))
+        assert abs(p99 - exact) / exact < 0.02
+        assert p99 < values[-1]  # strictly below the max
+
+
 # ----------------------------------------------------------------------
 # End-to-end traffic runs
 # ----------------------------------------------------------------------
@@ -366,3 +427,50 @@ def test_admission_config_validation():
         AdmissionConfig(tenant_burst=0.5)
     with pytest.raises(ValueError):
         AdmissionConfig(queue_shed_depth=-1)
+
+
+class TestAdmissionUnknownTenant:
+    """Regression: tenants missing from the construction-time list.
+
+    Tenants can surface mid-run (a replayed trace names them without any
+    prior registration).  They used to get no token bucket at all — the
+    ``.get(tenant)`` miss meant *unthrottled admission* — so a hot
+    unknown tenant bypassed exactly the isolation the bucket exists for.
+    """
+
+    def test_hot_unknown_tenant_is_throttled_on_trace_replay(self):
+        config = AdmissionConfig(tenant_rate_per_s=1.0, tenant_burst=2.0)
+        controller = AdmissionController(config, ["registered"])
+        # Replayed trace: the unknown tenant bursts 50 arrivals over 1 s
+        # starting at t=100.  Pre-fix every single one was admitted.
+        trace = [(100.0 + i * 0.02, "mystery") for i in range(50)]
+        admitted = sum(
+            controller.admit(tenant, at, backlog=0) for at, tenant in trace
+        )
+        # Burst (2) plus ~1 s of refill at 1/s: at most a handful.
+        assert admitted <= 4
+        assert controller.shed_throttled >= 46
+
+    def test_unknown_tenant_bucket_anchored_at_first_seen_time(self):
+        config = AdmissionConfig(tenant_rate_per_s=1.0, tenant_burst=2.0)
+        controller = AdmissionController(config, [])
+        assert controller.admit("late", 1000.0, backlog=0)
+        bucket = controller._buckets["late"]
+        # Refill anchored at first sight, not at virtual time 0.0.
+        assert bucket._last_refill == 1000.0
+        assert bucket.tokens == pytest.approx(1.0)  # burst minus one
+
+    def test_known_and_unknown_tenants_throttled_alike(self):
+        config = AdmissionConfig(tenant_rate_per_s=2.0, tenant_burst=3.0)
+        controller = AdmissionController(config, ["known"])
+        times = [50.0 + i * 0.01 for i in range(30)]
+        known = sum(controller.admit("known", t, backlog=0) for t in times)
+        unknown = sum(
+            controller.admit("unknown", t, backlog=0) for t in times
+        )
+        assert known == unknown
+
+    def test_unthrottled_config_needs_no_buckets(self):
+        controller = AdmissionController(AdmissionConfig(), ["a"])
+        assert controller.admit("never-seen", 5.0, backlog=0)
+        assert controller._buckets == {}
