@@ -1,0 +1,272 @@
+"""Adaptive-FT tournament: strategy × chaos archetype → ``BENCH_adaptive.json``.
+
+The S40 question: does feedback-driven tuning (adaptive-canary) and
+first-finisher cloning buy anything over the static strategies?  Every
+strategy runs the same open-loop traffic cell against each gray-failure
+archetype — stragglers, a zombie, a partition, a KV brownout — plus a lossy
+edge-WAN cell (``edge-wan`` preset + WAN uplink flaps), and the matrix
+records the tournament scores: makespan, p99 latency of *admitted*
+invocations, SLO violations, and dollar cost.
+
+Acceptance, asserted in-bench and recorded in the artifact:
+
+* **adaptive parity** — in every cell, adaptive-canary's SLO violations are
+  no worse than the best *static* strategy's (feedback must never lose to
+  a fixed knob on the metric it optimizes);
+* **cloning wins a straggler cell** — first-finisher redundancy is the one
+  strategy that dodges slow nodes without waiting for detection, so it must
+  take at least one straggler-archetype cell outright (or tie for it);
+* **off-by-default pledge** — a ScenarioConfig with ``adaptive=None`` /
+  ``cloning=None`` (the defaults) is byte-identical at seed 42 to the
+  pre-S40 platform spelling;
+* **purity** — each strategy's straggler cell re-runs bit-identically at
+  the same seed, per-tenant rows included.
+
+``BENCH_SMOKE=1`` (CI) shrinks to three strategies, three archetypes, and a
+short horizon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.adaptive import AdaptiveConfig
+from repro.detection import BackoffPolicy, DetectionConfig
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario, run_traffic
+from repro.faults.chaos import ChaosConfig
+from repro.network.config import get_network_preset
+from repro.sla.policy import SLAPolicy
+from repro.strategies.cloning import CloningConfig
+from repro.traffic import PoissonArrivals, Tenant, TrafficConfig
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_adaptive.json"
+SMOKE = os.environ.get("BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
+SEED = 0
+WORKLOAD = "micro-python"
+DEADLINE = SLAPolicy(deadline_s=30.0)
+DURATION_S = 20.0 if SMOKE else 60.0
+
+#: Strategy label -> (RecoveryStrategyName value, adaptive?, cloning?).
+STRATEGIES: dict[str, tuple[str, bool, bool]] = {
+    "retry": ("retry", False, False),
+    "canary": ("canary", False, False),
+    "request-replication": ("request-replication", False, False),
+    "active-standby": ("active-standby", False, False),
+    "adaptive-canary": ("canary", True, False),
+    "cloning": ("cloning", False, True),
+}
+STATIC = ("retry", "canary", "request-replication", "active-standby")
+if SMOKE:
+    STRATEGIES = {
+        k: STRATEGIES[k] for k in ("canary", "adaptive-canary", "cloning")
+    }
+    STATIC = ("canary",)
+
+#: Archetype name -> (network preset, ChaosConfig | None).
+ARCHETYPES: dict[str, tuple[str, ChaosConfig | None]] = {
+    "none": ("10gbe", None),
+    "straggler": (
+        "10gbe",
+        ChaosConfig(
+            stragglers=2,
+            straggler_window=(5.0, 12.0),
+            straggler_duration_s=8.0,
+            straggler_slowdown=0.25,
+        ),
+    ),
+    "straggler-storm": (
+        "10gbe",
+        ChaosConfig(
+            stragglers=4,
+            straggler_window=(4.0, 20.0),
+            straggler_duration_s=15.0,
+            straggler_slowdown=0.15,
+        ),
+    ),
+    "zombie": (
+        "10gbe",
+        ChaosConfig(
+            zombies=1, zombie_window=(6.0, 7.0), zombie_kill_after_s=25.0
+        ),
+    ),
+    "partition": (
+        "10gbe",
+        ChaosConfig(partitions=1, partition_window=(6.0, 8.0),
+                    partition_duration_s=6.0),
+    ),
+    "brownout": (
+        "10gbe",
+        ChaosConfig(link_brownouts=2, link_brownout_window=(5.0, 15.0),
+                    link_brownout_duration_s=6.0,
+                    link_brownout_factor=0.2),
+    ),
+    "edge-wan": (
+        "edge-wan",
+        ChaosConfig(wan_flaps=3, wan_flap_window=(5.0, 15.0),
+                    wan_flap_duration_s=4.0, wan_flap_factor=0.05),
+    ),
+}
+if SMOKE:
+    ARCHETYPES = {
+        k: ARCHETYPES[k] for k in ("none", "straggler-storm", "edge-wan")
+    }
+
+
+def cell_scenario(label: str, archetype: str) -> ScenarioConfig:
+    strategy, adaptive, cloning = STRATEGIES[label]
+    network, chaos = ARCHETYPES[archetype]
+    kwargs = {}
+    if chaos is not None:
+        kwargs = dict(
+            chaos=chaos,
+            detection=DetectionConfig(),
+            backoff=BackoffPolicy(),
+        )
+    tenants = (
+        Tenant(
+            name="load",
+            arrivals=PoissonArrivals(rate_per_s=1.5),
+            workloads=(WORKLOAD,),
+            sla=DEADLINE,
+        ),
+    )
+    return ScenarioConfig(
+        workload=WORKLOAD,
+        strategy=strategy,
+        error_rate=0.05,
+        num_nodes=8,
+        network=get_network_preset(network),
+        traffic=TrafficConfig(tenants=tenants, duration_s=DURATION_S),
+        adaptive=AdaptiveConfig() if adaptive else None,
+        cloning=CloningConfig(clones=3) if cloning else None,
+        **kwargs,
+    )
+
+
+def run_cell(label: str, archetype: str):
+    return run_traffic(cell_scenario(label, archetype), seed=SEED)
+
+
+def score_row(label: str, archetype: str, result) -> dict:
+    summary = result.summary
+    admitted = summary.invocations_offered - summary.invocations_shed
+    return {
+        "strategy": label,
+        "archetype": archetype,
+        "offered": summary.invocations_offered,
+        "admitted": admitted,
+        "shed": summary.invocations_shed,
+        "slo_violations": summary.slo_violations,
+        "admitted_p99_s": round(summary.latency_p99_s, 6),
+        "makespan_s": round(summary.makespan_s, 3),
+        "cost_total": round(summary.cost_total, 5),
+        "adaptive_epochs": summary.adaptive_epochs,
+        "adaptive_interval_changes": summary.adaptive_interval_changes,
+        "adaptive_boost_changes": summary.adaptive_boost_changes,
+        "adaptive_hint_changes": summary.adaptive_hint_changes,
+    }
+
+
+def test_adaptive_tournament():
+    matrix = []
+    for label in STRATEGIES:
+        for archetype in ARCHETYPES:
+            result = run_cell(label, archetype)
+            row = score_row(label, archetype, result)
+            # No strategy may wedge the platform.
+            assert row["admitted"] > 0, row
+            assert row["makespan_s"] > 0, row
+            matrix.append(row)
+
+    # The controller actually ran in the adaptive cells, and only there.
+    for row in matrix:
+        if row["strategy"] == "adaptive-canary":
+            assert row["adaptive_epochs"] > 0, row
+        else:
+            assert row["adaptive_epochs"] == 0, row
+
+    # Off-by-default pledge: adaptive/cloning default to None and the
+    # defaulted config is byte-identical to the explicit-None spelling.
+    base = ScenarioConfig(
+        workload="graph-bfs", strategy="canary", error_rate=0.15
+    )
+    assert base.adaptive is None and base.cloning is None
+    assert asdict(run_scenario(base, seed=42)) == asdict(
+        run_scenario(base.with_(adaptive=None, cloning=None), seed=42)
+    )
+
+    # Purity: each strategy's straggler-storm cell re-runs bit-identically.
+    for label in STRATEGIES:
+        first = run_cell(label, "straggler-storm")
+        second = run_cell(label, "straggler-storm")
+        assert asdict(first.summary) == asdict(second.summary), label
+        assert first.tenants == second.tenants, label
+
+    # Tournament winners: fewest SLO violations, admitted p99 breaks ties.
+    key = lambda r: (r["slo_violations"], r["admitted_p99_s"])  # noqa: E731
+    winners = {}
+    for archetype in ARCHETYPES:
+        cells = [r for r in matrix if r["archetype"] == archetype]
+        winners[archetype] = min(cells, key=key)["strategy"]
+    leaderboard = {label: 0 for label in STRATEGIES}
+    for label in winners.values():
+        leaderboard[label] += 1
+
+    # Acceptance 1: adaptive-canary never loses to the best static
+    # strategy on SLO violations, in any cell.
+    parity = {}
+    for archetype in ARCHETYPES:
+        adaptive_row = next(
+            r for r in matrix
+            if r["strategy"] == "adaptive-canary"
+            and r["archetype"] == archetype
+        )
+        best_static = min(
+            r["slo_violations"]
+            for r in matrix
+            if r["strategy"] in STATIC and r["archetype"] == archetype
+        )
+        parity[archetype] = (
+            adaptive_row["slo_violations"] <= best_static
+        )
+    assert all(parity.values()), parity
+
+    # Acceptance 2: cloning takes (or ties) at least one straggler cell —
+    # first-finisher redundancy dodges slow nodes without waiting for the
+    # detector, so a straggler archetype is where it must pay off.
+    cloning_wins_straggler = False
+    for archetype in ARCHETYPES:
+        if not archetype.startswith("straggler"):
+            continue
+        cells = [r for r in matrix if r["archetype"] == archetype]
+        best = min(key(r) for r in cells)
+        cloning_row = next(
+            r for r in cells if r["strategy"] == "cloning"
+        )
+        if key(cloning_row) <= best:
+            cloning_wins_straggler = True
+    assert cloning_wins_straggler
+
+    record = {
+        "smoke": SMOKE,
+        "seed": SEED,
+        "workload": WORKLOAD,
+        "duration_s": DURATION_S,
+        "strategies": list(STRATEGIES),
+        "archetypes": list(ARCHETYPES),
+        "matrix": matrix,
+        "winners": winners,
+        "leaderboard": leaderboard,
+        "acceptance": {
+            "adaptive_slo_parity": parity,
+            "cloning_wins_straggler": cloning_wins_straggler,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))

@@ -1,0 +1,7 @@
+"""S40 adaptive fault tolerance: feedback-driven checkpoint/replication
+tuning and placement hints (see :mod:`repro.adaptive.controller`)."""
+
+from repro.adaptive.config import AdaptiveConfig
+from repro.adaptive.controller import AdaptiveController
+
+__all__ = ["AdaptiveConfig", "AdaptiveController"]

@@ -62,6 +62,9 @@ class CheckpointingModule:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._per_function: dict[str, collections.deque[CheckpointRecord]] = {}
         self._effective_interval: dict[str, int] = {}
+        #: Fleet-wide interval override (S40 adaptive controller); None
+        #: defers to the policy.  Per-function pins always win.
+        self.global_interval: Optional[int] = None
         # checkpoint_id -> (home node, time it becomes durable)
         self._pending_flush: dict[str, tuple[str, float]] = {}
         self._lost: set[str] = set()
@@ -76,7 +79,12 @@ class CheckpointingModule:
     # Cadence
     # ------------------------------------------------------------------
     def effective_interval(self, function_id: str) -> int:
-        return self._effective_interval.get(function_id, self.policy.interval)
+        pinned = self._effective_interval.get(function_id)
+        if pinned is not None:
+            return pinned
+        if self.global_interval is not None:
+            return self.global_interval
+        return self.policy.interval
 
     def set_interval(self, function_id: str, interval: int) -> None:
         """Pin a function's checkpoint interval (job-level override)."""

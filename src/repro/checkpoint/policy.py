@@ -80,6 +80,8 @@ class CheckpointPolicy:
             cost exceeds ``max_overhead_ratio`` of the state duration.
         max_overhead_ratio: Threshold for the adaptive widening.
         retention: Latest-n retention policy.
+        min_interval / max_interval: Clamp bounds for any runtime interval
+            override (the S40 adaptive controller tunes within them).
     """
 
     enabled: bool = True
@@ -88,12 +90,23 @@ class CheckpointPolicy:
     adaptive_interval: bool = False
     max_overhead_ratio: float = 0.5
     retention: RetentionPolicy = RetentionPolicy()
+    min_interval: int = 1
+    max_interval: int = 64
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
             raise ValueError("interval must be positive")
         if self.max_overhead_ratio <= 0:
             raise ValueError("max_overhead_ratio must be positive")
+        if not 1 <= self.min_interval <= self.max_interval:
+            raise ValueError(
+                f"need 1 <= min_interval <= max_interval, got "
+                f"{self.min_interval}/{self.max_interval}"
+            )
+
+    def clamp_interval(self, interval: int) -> int:
+        """Clamp a runtime interval override to the policy's bounds."""
+        return max(self.min_interval, min(self.max_interval, interval))
 
     def should_checkpoint(self, state_index: int, effective_interval: int) -> bool:
         """Checkpoint after state *state_index* (0-based)?"""

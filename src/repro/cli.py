@@ -121,6 +121,16 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         chaos = default_chaos_preset()
         detection = DetectionConfig()
         backoff = BackoffPolicy()
+    adaptive = None
+    if getattr(args, "adaptive", False):
+        from repro.adaptive import AdaptiveConfig
+
+        adaptive = AdaptiveConfig()
+    cloning = None
+    if getattr(args, "clones", None) is not None:
+        from repro.strategies.cloning import CloningConfig
+
+        cloning = CloningConfig(clones=args.clones)
     return ScenarioConfig(
         workload=args.workload,
         strategy=args.strategy,
@@ -137,6 +147,8 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         backoff=backoff,
         shards=getattr(args, "shards", 1),
         placement=getattr(args, "placement", "locality"),
+        adaptive=adaptive,
+        cloning=cloning,
     )
 
 
@@ -168,6 +180,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"({summary.detection_latency_mean_s:.2f}s mean latency), "
               f"{summary.false_suspicions} false suspicions, "
               f"{summary.degraded_s:.2f}s degraded")
+    if getattr(args, "adaptive", False):
+        print(f"adaptive          : {summary.adaptive_epochs} epochs, "
+              f"{summary.adaptive_interval_changes} interval / "
+              f"{summary.adaptive_boost_changes} boost / "
+              f"{summary.adaptive_hint_changes} hint retunes")
     print(f"cost              : ${summary.cost_total:.4f} "
           f"(functions ${summary.cost_function:.4f}, "
           f"replicas ${summary.cost_replica:.4f}, "
@@ -388,6 +405,13 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
                         help="enable the gray-failure preset (stragglers, "
                         "a zombie, a partition, a KV brownout) plus "
                         "heartbeat detection and retry backoff")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="enable the S40 feedback controller that "
+                        "retunes checkpoint interval, replication boost "
+                        "and placement hints each epoch")
+    parser.add_argument("--clones", type=int, default=None, metavar="K",
+                        help="clone count for --strategy cloning "
+                        "(first finisher wins; default 2)")
     parser.add_argument("--shards", type=_parse_shards, default=1,
                         metavar="N|auto",
                         help="event shards (1 = serial engine, 'auto' = one "

@@ -70,6 +70,7 @@ class RecoveryStrategyName(str, enum.Enum):
     REQUEST_REPLICATION = "request-replication"          # RR [65]
     ACTIVE_STANDBY = "active-standby"                    # AS [66]
     CANARY_SLA = "canary-sla"            # SLA-aware extension (§VII)
+    CLONING = "cloning"                  # first-finisher request cloning (S40)
 
 
 class ReplicationStrategyName(str, enum.Enum):

@@ -61,8 +61,11 @@ from repro.trace.tracer import NULL_TRACER, NullTracer
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adaptive.config import AdaptiveConfig
+    from repro.adaptive.controller import AdaptiveController
     from repro.autoscale.autoscaler import NodeAutoscaler
     from repro.autoscale.config import AutoscaleConfig
+    from repro.strategies.cloning import CloningConfig
     from repro.traffic.replay import TrafficSource
     from repro.traffic.tenant import TrafficConfig
 
@@ -91,6 +94,11 @@ class CanaryPlatform:
             (default) keeps the batch-submission interface untouched.
         autoscale: Node autoscaler config (``repro.autoscale``); None
             (default) keeps the node set fixed.
+        adaptive: S40 feedback controller (``repro.adaptive``) retuning
+            checkpoint cadence, replication boost, and placement hints
+            per epoch; None (default) keeps every knob static.
+        cloning: Cloning degree for the S40 ``cloning`` strategy; None
+            uses the strategy default and is inert otherwise.
         placement: S39 placement policy — a registry name
             (``repro.policies.PLACEMENT_POLICIES``) or a pre-built
             :class:`~repro.policies.PlacementPolicy` instance.  One
@@ -131,6 +139,8 @@ class CanaryPlatform:
         traffic: Optional["TrafficConfig"] = None,
         autoscale: Optional["AutoscaleConfig"] = None,
         placement: str | PlacementPolicy = "locality",
+        adaptive: Optional["AdaptiveConfig"] = None,
+        cloning: Optional["CloningConfig"] = None,
     ) -> None:
         self.seed = seed
         self.config = config or PlatformConfig()
@@ -326,6 +336,11 @@ class CanaryPlatform:
             self.ctx.chaos = self.chaos
             if self.detection is not None:
                 self.detection.chaos = self.chaos
+        if self.detection is not None and self.autoscaler is not None:
+            # Ramp-state handle for the load-aware thresholds (inert
+            # unless DetectionConfig.load_aware is set).
+            self.detection.autoscaler = self.autoscaler
+        self.ctx.cloning = cloning
         self.strategy = make_strategy(strategy, self.ctx)
         self.ctx.strategy = self.strategy
         if self.strategy.replication_enabled:
@@ -377,6 +392,28 @@ class CanaryPlatform:
 
             self.predictor = NodeHealthPredictor(self.cluster)
             self.mitigator = ProactiveMitigator(self, self.predictor)
+        # S40 adaptive fault tolerance: built last so it can read every
+        # signal source (detection, fabric, predictor, traffic).  None
+        # (default) constructs nothing — not even the RNG stream — so
+        # non-adaptive runs stay byte-identical.
+        self.adaptive: Optional["AdaptiveController"] = None
+        if adaptive is not None:
+            from repro.adaptive.controller import AdaptiveController
+
+            self.adaptive = AdaptiveController(
+                self.sim,
+                self.cluster,
+                adaptive,
+                checkpointer=self.checkpointer,
+                replication=self.replication,
+                placement=self.placement,
+                detection=self.detection,
+                network=self.network,
+                predictor=self.predictor,
+                metrics=self.metrics,
+                traffic=self.traffic,
+                tracer=self.tracer,
+            )
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -523,6 +560,8 @@ class CanaryPlatform:
             self.autoscaler.ensure_running(self._has_pending_work)
         if self.detection is not None:
             self.detection.ensure_running(self._has_pending_work)
+        if self.adaptive is not None:
+            self.adaptive.ensure_running(self._has_pending_work)
         stopped_at = self.sim.run(until=until)
         if self.sim.pending == 0:
             # Run fully drained: bound any spans that never closed (e.g.
@@ -601,5 +640,8 @@ class CanaryPlatform:
                 }
                 if self.autoscaler is not None
                 else None
+            ),
+            adaptive=(
+                self.adaptive.stats() if self.adaptive is not None else None
             ),
         )

@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.network.fabric import FlowNetwork
     from repro.replication.module import ReplicationModule
     from repro.strategies.base import RecoveryStrategy
+    from repro.strategies.cloning import CloningConfig
 
 
 @dataclass
@@ -60,6 +61,9 @@ class PlatformContext:
     #: Retry policy for restores/placement against degraded endpoints;
     #: None means fail fast exactly as before.
     backoff: Optional["BackoffPolicy"] = None
+    #: Cloning degree for the S40 ``cloning`` strategy; None uses the
+    #: strategy's default (and is ignored by every other strategy).
+    cloning: Optional["CloningConfig"] = None
     #: container_id -> owning execution, for dispatching loss events of
     #: function-purpose containers (replicas are handled by the Replication
     #: Module, standbys by the active-standby strategy).

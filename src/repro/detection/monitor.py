@@ -56,6 +56,17 @@ class DetectionConfig:
             is declared failed (cordon-then-confirm split).
         processing_delay_s: Control-plane handling delay between a verdict
             and the recovery callback firing.
+        load_aware: Scale the suspect/confirm thresholds with the node's
+            cold-start backlog and the autoscaler's ramp state, so a mass
+            scale-out (daemons starved by image pulls and container boots)
+            does not trigger a false-suspicion storm.
+        load_hb_stretch: Fractional heartbeat-period stretch per in-flight
+            cold start on the node — the *physical* load effect on the
+            daemon (0 disables; independent of ``load_aware``, which is
+            the detector-side compensation).
+        load_cold_start_ref: Cold-start count that adds one full period of
+            slack to the thresholds when ``load_aware`` is on.
+        load_max_factor: Cap on the load-aware threshold multiplier.
     """
 
     heartbeat_interval_s: float = 0.5
@@ -65,6 +76,10 @@ class DetectionConfig:
     min_std_s: float = 0.02
     confirm_timeout_s: float = 4.0
     processing_delay_s: float = 0.05
+    load_aware: bool = False
+    load_hb_stretch: float = 0.0
+    load_cold_start_ref: int = 4
+    load_max_factor: float = 3.0
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval_s <= 0:
@@ -81,6 +96,12 @@ class DetectionConfig:
             raise ValueError("confirm_timeout_s must be positive")
         if self.processing_delay_s < 0:
             raise ValueError("processing_delay_s must be non-negative")
+        if self.load_hb_stretch < 0:
+            raise ValueError("load_hb_stretch must be non-negative")
+        if self.load_cold_start_ref < 1:
+            raise ValueError("load_cold_start_ref must be >= 1")
+        if self.load_max_factor < 1.0:
+            raise ValueError("load_max_factor must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -116,6 +137,9 @@ class DetectionModule:
         #: Optional ChaosInjector; set by the platform so partitioned nodes
         #: drop their heartbeats and zombie onsets anchor latency accounting.
         self.chaos: Any = None
+        #: Optional NodeAutoscaler; set by the platform so the load-aware
+        #: thresholds can widen during a scale-out ramp (booting nodes).
+        self.autoscaler: Any = None
         # Normal quantile matching the phi threshold: a gap is suspicious
         # once its probability under the fitted gap distribution drops below
         # 10^-phi.
@@ -248,7 +272,30 @@ class DetectionModule:
         # signal the detector picks up.
         if node.chaos_speed_factor != 1.0:
             period /= node.chaos_speed_factor
+        # Mass cold starts starve the daemon too (image pulls and container
+        # boots compete for the same cores); each in-flight cold start
+        # stretches the beat.  This is the physical effect the load-aware
+        # thresholds exist to compensate.
+        if self.config.load_hb_stretch > 0.0 and node.cold_starts_in_flight:
+            period *= (
+                1.0 + self.config.load_hb_stretch * node.cold_starts_in_flight
+            )
         return period
+
+    def _load_factor(self, node: "Node") -> float:
+        """Threshold multiplier compensating for launch-storm load.
+
+        1.0 unless ``load_aware``: then slack grows with the node's own
+        cold-start backlog and adds a full period while the autoscaler has
+        nodes booting (a fleet-wide ramp starves every daemon at once).
+        """
+        cfg = self.config
+        if not cfg.load_aware:
+            return 1.0
+        factor = 1.0 + node.cold_starts_in_flight / cfg.load_cold_start_ref
+        if self.autoscaler is not None and self.autoscaler.booting_count:
+            factor += 1.0
+        return min(factor, cfg.load_max_factor)
 
     def _schedule_beat(self, node: "Node") -> None:
         self._beat_handles[node.node_id] = self.sim.call_in(
@@ -317,8 +364,11 @@ class DetectionModule:
         handle = self._suspect_handles.get(node_id)
         if handle is not None:
             handle.cancel()
+        threshold = self.suspect_after(node_id)
+        if self.config.load_aware:
+            threshold *= self._load_factor(node)
         self._suspect_handles[node_id] = self.sim.call_at(
-            now + self.suspect_after(node_id),
+            now + threshold,
             lambda: self._suspect(node),
             label=f"suspect:{node_id}",
             shard=node_id,
@@ -334,6 +384,30 @@ class DetectionModule:
         ):
             return
         now = self.sim.now
+        if self.config.load_aware:
+            # The threshold was scaled by the load factor *at arming time*;
+            # a launch storm that began afterwards stretches the beat
+            # without having widened the timer.  Re-judge the gap against
+            # the current load before acting, and push the timer out if the
+            # node has earned more slack since.
+            last = self._last_beat.get(node_id)
+            if last is not None:
+                allowed = self.suspect_after(node_id) * self._load_factor(
+                    node
+                )
+                # Compare against the re-arm target, not the gap: a timer
+                # pushed to ``last + allowed`` must land strictly in the
+                # future, or float rounding re-arms the same instant
+                # forever.
+                fire_at = last + allowed
+                if fire_at > now:
+                    self._suspect_handles[node_id] = self.sim.call_at(
+                        fire_at,
+                        lambda: self._suspect(node),
+                        label=f"suspect:{node_id}",
+                        shard=node_id,
+                    )
+                    return
         self.suspicions += 1
         self.node_suspicions[node_id] = (
             self.node_suspicions.get(node_id, 0) + 1
@@ -346,8 +420,11 @@ class DetectionModule:
         self._suspicion_spans[node_id] = self.tracer.begin(
             "suspicion", f"suspicion:{node_id}", node=node_id
         )
+        confirm_after = self.config.confirm_timeout_s
+        if self.config.load_aware:
+            confirm_after *= self._load_factor(node)
         self._confirm_handles[node_id] = self.sim.call_in(
-            self.config.confirm_timeout_s,
+            confirm_after,
             lambda: self._confirm(node),
             label=f"confirm:{node_id}",
             shard=node_id,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.adaptive.config import AdaptiveConfig
 from repro.autoscale.config import AutoscaleConfig
 from repro.checkpoint.policy import CheckpointPolicy
 from repro.common.types import RecoveryStrategyName, ReplicationStrategyName
@@ -13,6 +14,7 @@ from repro.detection import BackoffPolicy, DetectionConfig
 from repro.faults.chaos import ChaosConfig
 from repro.network.config import NetworkModelConfig
 from repro.policies.factory import PLACEMENT_POLICIES
+from repro.strategies.cloning import CloningConfig
 from repro.traffic.tenant import TrafficConfig
 
 #: Error-rate sweep used throughout §V ("vary the error rate from 1% to 50%").
@@ -73,6 +75,12 @@ class ScenarioConfig:
     #: The default ``"locality"`` keeps placement byte-identical to the
     #: pre-policy platform.
     placement: str = "locality"
+    #: S40 adaptive fault-tolerance controller; None (default) keeps
+    #: every knob static and all golden pins byte-identical.
+    adaptive: Optional[AdaptiveConfig] = None
+    #: Cloning degree for ``strategy="cloning"``; None uses the strategy
+    #: default (2 copies) and is inert for every other strategy.
+    cloning: Optional[CloningConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_functions <= 0:

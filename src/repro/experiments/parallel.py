@@ -33,11 +33,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario
 from repro.metrics.summary import RunSummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adaptive.config import AdaptiveConfig
 
 #: One experiment cell: a fully specified scenario plus the seed to run it at.
 Cell = tuple[ScenarioConfig, int]
@@ -201,6 +204,7 @@ def run_sweep(
     jobs: Optional[int] = None,
     shards: Optional[int | str] = None,
     placement: Optional[str] = None,
+    adaptive: Optional["AdaptiveConfig"] = None,
 ) -> list[list[RunSummary]]:
     """Run every scenario at every seed; one summary list per scenario.
 
@@ -216,12 +220,18 @@ def run_sweep(
     ``placement`` overrides every scenario's S39 placement policy — unlike
     ``shards`` this *does* change results (that is the point): it re-runs a
     whole figure under a different scheduling objective.
+
+    ``adaptive`` attaches the S40 feedback controller to every scenario —
+    like ``placement``, a deliberate behaviour change for whole-figure
+    what-if sweeps.
     """
     seeds = list(seeds)
     if shards is not None:
         scenarios = [s.with_(shards=shards) for s in scenarios]
     if placement is not None:
         scenarios = [s.with_(placement=placement) for s in scenarios]
+    if adaptive is not None:
+        scenarios = [s.with_(adaptive=adaptive) for s in scenarios]
     cells: list[Cell] = [
         (scenario, seed) for scenario in scenarios for seed in seeds
     ]

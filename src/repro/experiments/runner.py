@@ -60,6 +60,8 @@ def _run_platform(
         traffic=scenario.traffic,
         autoscale=scenario.autoscale,
         placement=scenario.placement,
+        adaptive=scenario.adaptive,
+        cloning=scenario.cloning,
     )
     if scenario.traffic is None:
         # Classic closed-loop batch; with traffic enabled the arrival

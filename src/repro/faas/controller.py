@@ -276,8 +276,9 @@ class FaaSController:
             return None
         # Filtering (preferred node, anti-affinity, capacity, fallback)
         # stays here — it is platform machinery every policy must honor;
-        # only the final ranking is the policy's call.
-        return self.policy.select_node(candidates)
+        # only the final ranking is the policy's call.  Adaptive avoidance
+        # hints filter softly first (no-op while the hint set is empty).
+        return self.policy.select_node(self.policy.apply_hints(candidates))
 
     def submit(self, request: ContainerRequest) -> ContainerRequest:
         """Place *request* now if possible, else queue it FIFO."""

@@ -26,6 +26,9 @@ Archetypes:
   kills.
 * **Link brownout** — an aggregation uplink or the core link loses most of
   its capacity for a window (checkpoint/restore traffic slows cluster-wide).
+* **WAN flap** — an edge rack's WAN uplink (``edge-wan`` preset) drops to a
+  sliver of its capacity for a window; everything crossing the cloud-edge
+  boundary (image pulls, checkpoints, replica traffic) stalls behind it.
 * **Tier brownout** — a storage tier inflates latency or refuses I/O for a
   window; writes spill to the next healthy tier and restores back off.
 """
@@ -98,6 +101,15 @@ class ChaosConfig:
     link_brownout_duration_s: float = 5.0
     link_brownout_factor: float = 0.1
 
+    #: WAN flaps: an edge rack's WAN uplink (edge-wan preset) loses most
+    #: of its capacity for a window — the cloud-edge failure-injection
+    #: archetype.  No-ops (counted as skips) when the network model has
+    #: no WAN links.
+    wan_flaps: int = 0
+    wan_flap_window: tuple[float, float] = (5.0, 25.0)
+    wan_flap_duration_s: float = 4.0
+    wan_flap_factor: float = 0.05
+
     tier_brownouts: tuple[TierBrownout, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -106,6 +118,7 @@ class ChaosConfig:
             "zombies",
             "partitions",
             "link_brownouts",
+            "wan_flaps",
         ):
             if getattr(self, count_name) < 0:
                 raise ValueError(f"{count_name} must be non-negative")
@@ -133,6 +146,12 @@ class ChaosConfig:
             raise ValueError("link_brownout_duration_s must be positive")
         if not 0.0 < self.link_brownout_factor <= 1.0:
             raise ValueError("link_brownout_factor must be in (0, 1]")
+        if self.wan_flaps:
+            _validate_window("wan_flap_window", self.wan_flap_window)
+        if self.wan_flap_duration_s <= 0:
+            raise ValueError("wan_flap_duration_s must be positive")
+        if not 0.0 < self.wan_flap_factor <= 1.0:
+            raise ValueError("wan_flap_factor must be in (0, 1]")
 
     @property
     def enabled(self) -> bool:
@@ -141,6 +160,7 @@ class ChaosConfig:
             or self.zombies
             or self.partitions
             or self.link_brownouts
+            or self.wan_flaps
             or self.tier_brownouts
         )
 
@@ -207,6 +227,8 @@ class ChaosInjector:
         self.partitions_applied = 0
         self.link_brownouts_applied = 0
         self.link_brownout_skips = 0
+        self.wan_flaps_applied = 0
+        self.wan_flap_skips = 0
         self.tier_brownouts_applied = 0
         #: Seconds of scheduled degradation windows (zombie time is added
         #: separately in :meth:`degraded_seconds`, measured onset-to-death).
@@ -223,6 +245,7 @@ class ChaosInjector:
         self._schedule_zombies()
         self._schedule_partitions()
         self._schedule_link_brownouts()
+        self._schedule_wan_flaps()
         self._schedule_tier_brownouts()
 
     def _draw_node_events(
@@ -307,6 +330,30 @@ class ChaosInjector:
                 max(at, self.sim.now),
                 lambda name=name: self._start_link_brownout(name),
                 label="chaos-link",
+            )
+
+    def _schedule_wan_flaps(self) -> None:
+        if self.config.wan_flaps <= 0:
+            return
+        wan_links = getattr(self.network, "wan_links", None)
+        if not wan_links:
+            # No network model, or a single-site fabric with no WAN
+            # uplinks: nothing to flap.
+            self.wan_flap_skips += self.config.wan_flaps
+            return
+        names = sorted(link.name for link in wan_links)
+        rng = self.sim.rng.stream("chaos:wan")
+        start, end = self.config.wan_flap_window
+        times = sorted(
+            float(rng.uniform(start, end))
+            for _ in range(self.config.wan_flaps)
+        )
+        for at in times:
+            name = names[int(rng.integers(len(names)))]
+            self.sim.call_at(
+                max(at, self.sim.now),
+                lambda name=name: self._start_wan_flap(name),
+                label="chaos-wan",
             )
 
     def _schedule_tier_brownouts(self) -> None:
@@ -453,6 +500,26 @@ class ChaosInjector:
             cfg.link_brownout_duration_s,
             lambda: self.network.set_link_capacity(name, previous),
             label="chaos-link-end",
+        )
+
+    def _start_wan_flap(self, name: str) -> None:
+        cfg = self.config
+        link = self.network.links[name]
+        previous = self.network.set_link_capacity(
+            name, link.bandwidth * cfg.wan_flap_factor
+        )
+        self.wan_flaps_applied += 1
+        self.degraded_window_s += cfg.wan_flap_duration_s
+        self.tracer.instant(
+            "chaos",
+            f"wan-flap:{name}",
+            duration=cfg.wan_flap_duration_s,
+            link=name,
+        )
+        self.sim.call_in(
+            cfg.wan_flap_duration_s,
+            lambda: self.network.set_link_capacity(name, previous),
+            label="chaos-wan-end",
         )
 
     def _start_tier_brownout(self, spec: TierBrownout) -> None:

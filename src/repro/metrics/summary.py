@@ -60,6 +60,11 @@ class RunSummary:
     scale_outs: int = 0
     scale_ins: int = 0
     nodes_peak: int = 0
+    # S40 adaptive controller (zeros when ``adaptive`` is disabled).
+    adaptive_epochs: int = 0
+    adaptive_interval_changes: int = 0
+    adaptive_boost_changes: int = 0
+    adaptive_hint_changes: int = 0
 
     @property
     def all_completed(self) -> bool:
@@ -84,6 +89,7 @@ def summarize(
     degraded_s: float = 0.0,
     traffic: Optional[dict] = None,
     autoscale: Optional[dict] = None,
+    adaptive: Optional[dict] = None,
 ) -> RunSummary:
     """Build a :class:`RunSummary` from a finished run's collectors."""
     checkpoint_time = sum(t.checkpoint_time_s for t in metrics.traces.values())
@@ -127,4 +133,5 @@ def summarize(
         degraded_s=degraded_s,
         **(traffic or {}),
         **(autoscale or {}),
+        **(adaptive or {}),
     )

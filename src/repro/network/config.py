@@ -42,6 +42,15 @@ class NetworkModelConfig:
             finish times.  Deterministic either way.
         enabled: Escape hatch — a config with ``enabled=False`` behaves
             exactly like passing no config at all.
+        edge_racks: Racks sitting behind a WAN instead of the datacenter
+            ToR uplink (cloud-core + edge split).  Empty (default) keeps
+            the single-site fabric byte-identical.
+        wan_uplink_bandwidth: Uplink capacity for ``edge_racks``; the WAN
+            is *lossy* in goodput terms — retransmissions over a
+            high-loss path show up as derated effective bandwidth, which
+            is exactly what a flow-level model can express.
+        wan_latency_s: Extra one-way latency added per traversed WAN
+            uplink (on top of ``hop_latency_s``).
     """
 
     name: str = "custom"
@@ -53,6 +62,9 @@ class NetworkModelConfig:
     model_image_pulls: bool = True
     reschedule_tolerance: float = 0.01
     enabled: bool = True
+    edge_racks: tuple[str, ...] = ()
+    wan_uplink_bandwidth: Optional[float] = None
+    wan_latency_s: float = 0.0
 
     def __post_init__(self) -> None:
         for field_name in (
@@ -67,6 +79,14 @@ class NetworkModelConfig:
             raise ValueError("hop_latency_s must be non-negative")
         if self.reschedule_tolerance < 0:
             raise ValueError("reschedule_tolerance must be non-negative")
+        if self.wan_latency_s < 0:
+            raise ValueError("wan_latency_s must be non-negative")
+        if self.wan_uplink_bandwidth is not None and (
+            self.wan_uplink_bandwidth <= 0
+        ):
+            raise ValueError("wan_uplink_bandwidth must be positive")
+        if self.edge_racks and self.wan_uplink_bandwidth is None:
+            raise ValueError("edge_racks require a wan_uplink_bandwidth")
 
 
 #: The calibrated testbed preset: 10 GbE NICs, 2:1 oversubscribed racks.
@@ -81,11 +101,23 @@ TWENTY_FIVE_GBE = NetworkModelConfig(
     registry_bandwidth=5.0 * _10GBE,
 )
 
+#: Cloud-edge split: racks 0/1 stay in the datacenter, racks 2/3 become
+#: edge sites behind a ~500 Mb/s lossy WAN (goodput-derated) with 25 ms
+#: one-way latency per uplink traversal.  Rack names follow the default
+#: topology (``rack-<index % 4>``).
+EDGE_WAN = NetworkModelConfig(
+    name="edge-wan",
+    edge_racks=("rack-2", "rack-3"),
+    wan_uplink_bandwidth=0.05 * _10GBE,
+    wan_latency_s=0.025,
+)
+
 #: CLI-facing presets; ``"off"`` is the legacy uncontended model.
 NETWORK_PRESETS: dict[str, Optional[NetworkModelConfig]] = {
     "off": None,
     "10gbe": TEN_GBE,
     "25gbe": TWENTY_FIVE_GBE,
+    "edge-wan": EDGE_WAN,
 }
 
 

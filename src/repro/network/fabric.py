@@ -163,9 +163,24 @@ class FlowNetwork:
         for node in cluster.nodes:
             if node.rack not in racks:
                 racks.append(node.rack)
+        #: WAN uplinks of the edge racks (edge-wan preset); targeted by the
+        #: ``wan_flap`` chaos archetype.
+        self.wan_links: list[Link] = []
+        #: link name -> extra per-traversal latency; empty (the single-site
+        #: default) keeps the latency arithmetic byte-identical.
+        self._wan_latency: dict[str, float] = {}
         for rack in racks:
-            self._add_link(f"up-tx:{rack}", config.uplink_bandwidth)
-            self._add_link(f"up-rx:{rack}", config.uplink_bandwidth)
+            if rack in config.edge_racks:
+                bandwidth = config.wan_uplink_bandwidth
+                assert bandwidth is not None  # enforced by the config
+                for direction in ("tx", "rx"):
+                    link = self._add_link(f"up-{direction}:{rack}", bandwidth)
+                    self.wan_links.append(link)
+                    if config.wan_latency_s > 0:
+                        self._wan_latency[link.name] = config.wan_latency_s
+            else:
+                self._add_link(f"up-tx:{rack}", config.uplink_bandwidth)
+                self._add_link(f"up-rx:{rack}", config.uplink_bandwidth)
         self._add_link("core", config.core_bandwidth)
         # Shared tiers live in a dedicated storage rack reached through
         # the core; the per-direction service links carry the tier's own
@@ -461,6 +476,9 @@ class FlowNetwork:
         endpoints: tuple[str, ...],
     ) -> FlowHandle:
         latency = latency_s + self.config.hop_latency_s * len(links)
+        if self._wan_latency:
+            for link in links:
+                latency += self._wan_latency.get(link.name, 0.0)
         if links and size_bytes > 0:
             bottleneck = min(link.bandwidth for link in links)
             min_duration = latency + size_bytes / bottleneck

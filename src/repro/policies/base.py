@@ -57,6 +57,10 @@ class PlacementPolicy:
         self.detection: Any = None
         #: PricingModel; dollar scoring (cost policy).
         self.pricing: Any = None
+        #: S40 adaptive avoidance hints: node_ids new containers should
+        #: steer away from while alternatives exist.  Empty (default)
+        #: keeps every decision byte-identical to the un-hinted policy.
+        self._avoid_hints: frozenset[str] = frozenset()
 
     def bind(self, **handles: Any) -> "PlacementPolicy":
         """Attach platform handles (only the ones provided are updated).
@@ -78,6 +82,28 @@ class PlacementPolicy:
             if value is not None:
                 setattr(self, key, value)
         return self
+
+    # ------------------------------------------------------------------
+    # Adaptive avoidance hints (S40)
+    # ------------------------------------------------------------------
+    @property
+    def avoid_hints(self) -> frozenset[str]:
+        return self._avoid_hints
+
+    def set_hints(self, node_ids: frozenset[str]) -> None:
+        """Replace the avoidance-hint set (the adaptive controller's knob)."""
+        self._avoid_hints = frozenset(node_ids)
+
+    def apply_hints(self, candidates: Sequence["Node"]) -> Sequence["Node"]:
+        """Filter hinted nodes out — soft: never empties the candidate list.
+
+        Hints steer, they don't cordon; when every candidate is hinted the
+        original list passes through so placement still succeeds.
+        """
+        if not self._avoid_hints:
+            return candidates
+        kept = [n for n in candidates if n.node_id not in self._avoid_hints]
+        return kept or candidates
 
     # ------------------------------------------------------------------
     # Decision points
@@ -109,7 +135,7 @@ class PlacementPolicy:
             return None
         taken = {node.node_id for node in existing_replica_nodes}
         fresh = [node for node in candidates if node.node_id not in taken]
-        return self.select_node(fresh or list(candidates))
+        return self.select_node(self.apply_hints(fresh or list(candidates)))
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

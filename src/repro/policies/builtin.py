@@ -47,6 +47,7 @@ class LocalityPolicy(PlacementPolicy):
     ) -> Optional["Node"]:
         if not candidates:
             return None
+        candidates = self.apply_hints(candidates)
 
         if not existing_replica_nodes:
             hosting_ids = {n.node_id for n in function_nodes if n.alive}

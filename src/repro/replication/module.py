@@ -72,6 +72,10 @@ class ReplicationModule:
         self._token_by_container: dict[str, int] = {}
         self.replicas_launched = 0
         self.replicas_retired = 0
+        #: Extra warm replicas on top of each kind's base target while the
+        #: S40 adaptive controller holds a protective stance; 0 (default)
+        #: keeps targets byte-identical to the static platform.
+        self.target_boost = 0
         runtime_manager.on_replica_claimed(self._handle_claim)
         controller.on_container_loss(self._handle_container_loss)
         # Keep the manager's incremental warm-idle tally in step with the
@@ -160,7 +164,21 @@ class ReplicationModule:
                 mean_function_duration_s=mean_exec_s,
                 replacement_window_s=window,
             )
+        if total > 0 and self.target_boost:
+            # Boost only an already-live pool: an idle platform (target 0)
+            # keeps zero replicas so the retire-all path still drains.
+            total += self.target_boost
         return total
+
+    def set_target_boost(self, boost: int) -> None:
+        """Retune the replica boost and re-reconcile every live pool."""
+        if boost < 0:
+            raise ValueError("boost must be >= 0")
+        if boost == self.target_boost:
+            return
+        self.target_boost = boost
+        for kind in list(self._groups):
+            self.reconcile(kind)
 
     @staticmethod
     def _is_inflight(request: ContainerRequest) -> bool:

@@ -11,6 +11,7 @@ from repro.strategies.canary import (
     CanaryReplicationOnlyStrategy,
     CanaryStrategy,
 )
+from repro.strategies.cloning import CloningStrategy
 from repro.strategies.ideal import IdealStrategy
 from repro.strategies.request_replication import RequestReplicationStrategy
 from repro.strategies.retry import RetryStrategy
@@ -32,6 +33,7 @@ _REGISTRY = {
     RecoveryStrategyName.REQUEST_REPLICATION: RequestReplicationStrategy,
     RecoveryStrategyName.ACTIVE_STANDBY: ActiveStandbyStrategy,
     RecoveryStrategyName.CANARY_SLA: _sla_strategy,
+    RecoveryStrategyName.CLONING: CloningStrategy,
 }
 
 

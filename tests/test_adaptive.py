@@ -1,0 +1,214 @@
+"""S40 adaptive fault tolerance: controller behaviour and load-aware detection.
+
+Three concerns live here:
+
+* The per-epoch feedback controller actually moves the checkpoint/
+  replication/placement knobs under stress — and leaves them alone on a
+  calm run (hysteresis means no thrash).
+* The load-aware detection thresholds kill the false-suspicion storm a
+  mass launch ramp otherwise triggers.
+* Everything stays a pure function of the seed: repeat runs and the
+  sharded engine are byte-identical, and ``adaptive=None`` keeps the
+  summary's adaptive counters at zero.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig
+from repro.detection import BackoffPolicy, DetectionConfig
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import _run_platform, run_scenario
+from repro.faults.chaos import ChaosConfig, default_chaos_preset
+from repro.network.config import NETWORK_PRESETS
+
+
+def test_adaptive_config_validation():
+    with pytest.raises(ValueError):
+        AdaptiveConfig(epoch_s=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveConfig(hysteresis_epochs=0)
+    with pytest.raises(ValueError):
+        AdaptiveConfig(checkpoint_min_interval=5, checkpoint_max_interval=2)
+    with pytest.raises(ValueError):
+        AdaptiveConfig(replication_max_boost=-1)
+    with pytest.raises(ValueError):
+        AdaptiveConfig(max_hinted_fraction=1.5)
+    with pytest.raises(ValueError):
+        AdaptiveConfig(epoch_jitter=-0.1)
+
+
+def _chaotic_scenario(**overrides):
+    base = dict(
+        workload="dl-training",
+        strategy="canary",
+        error_rate=0.25,
+        num_functions=40,
+        num_nodes=8,
+        network=NETWORK_PRESETS["10gbe"],
+        chaos=default_chaos_preset(),
+        detection=DetectionConfig(),
+        backoff=BackoffPolicy(),
+        adaptive=AdaptiveConfig(),
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def test_controller_engages_under_failures():
+    summary = run_scenario(_chaotic_scenario(), seed=3)
+    assert summary.completed == 40
+    assert summary.adaptive_epochs > 0
+    # Failures + chaos must push the controller out of its initial stance
+    # at least once (protect on the burst, relax when it drains).
+    assert summary.adaptive_interval_changes >= 1
+
+
+def test_controller_quiet_on_calm_run():
+    scenario = ScenarioConfig(
+        workload="micro-python",
+        strategy="canary",
+        error_rate=0.0,
+        num_functions=20,
+        num_nodes=8,
+        adaptive=AdaptiveConfig(),
+    )
+    summary = run_scenario(scenario, seed=1)
+    assert summary.completed == 20
+    assert summary.adaptive_epochs > 0
+    # Zero risk: at most the single initial relax, and never a protect
+    # boost or a placement hint — hysteresis forbids oscillation.
+    assert summary.adaptive_interval_changes <= 1
+    assert summary.adaptive_boost_changes == 0
+    assert summary.adaptive_hint_changes == 0
+
+
+def test_adaptive_off_keeps_counters_zero():
+    summary = run_scenario(_chaotic_scenario(adaptive=None), seed=3)
+    assert summary.adaptive_epochs == 0
+    assert summary.adaptive_interval_changes == 0
+    assert summary.adaptive_boost_changes == 0
+    assert summary.adaptive_hint_changes == 0
+
+
+# ----------------------------------------------------------------------
+# Load-aware detection: a launch ramp must not read as a failure storm
+# ----------------------------------------------------------------------
+def _ramp_scenario(load_aware):
+    """24 simultaneous cold starts on 3 nodes stretch every daemon's beat."""
+    return ScenarioConfig(
+        workload="micro-python",
+        strategy="canary",
+        error_rate=0.0,
+        num_functions=24,
+        num_nodes=3,
+        detection=DetectionConfig(
+            load_hb_stretch=0.15, load_aware=load_aware
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", (0, 2))
+def test_load_aware_drops_false_suspicions(seed):
+    naive = run_scenario(_ramp_scenario(False), seed=seed)
+    aware = run_scenario(_ramp_scenario(True), seed=seed)
+    # The naive thresholds suspect every loaded node; the load-aware ones
+    # ride out the ramp without a single false positive.
+    assert naive.false_suspicions >= 3
+    assert aware.false_suspicions == 0
+    assert naive.completed == aware.completed == 24
+
+
+def test_load_aware_survives_launch_storm():
+    """Extreme ramp: naive detection wrongly declares every node dead."""
+
+    def run(load_aware):
+        scenario = ScenarioConfig(
+            workload="micro-python",
+            strategy="canary",
+            error_rate=0.0,
+            num_functions=96,
+            num_nodes=3,
+            detection=DetectionConfig(
+                load_hb_stretch=0.5, load_aware=load_aware
+            ),
+        )
+        return run_scenario(scenario, seed=2)
+
+    naive = run(False)
+    aware = run(True)
+    assert naive.detections > 0 and naive.completed == 0
+    assert aware.detections == 0 and aware.completed == 96
+
+
+# ----------------------------------------------------------------------
+# Edge-WAN preset and the wan_flap chaos archetype
+# ----------------------------------------------------------------------
+def test_edge_wan_preset_creates_wan_links():
+    scenario = ScenarioConfig(
+        workload="micro-python",
+        strategy="canary",
+        num_functions=4,
+        num_nodes=16,
+        network=NETWORK_PRESETS["edge-wan"],
+    )
+    platform = _run_platform(scenario, seed=0)
+    names = sorted(link.name for link in platform.network.wan_links)
+    assert names == [
+        "up-rx:rack-2", "up-rx:rack-3", "up-tx:rack-2", "up-tx:rack-3",
+    ]
+
+
+def test_wan_flap_applies_and_restores():
+    scenario = ScenarioConfig(
+        workload="micro-python",
+        strategy="canary",
+        num_functions=16,
+        num_nodes=16,
+        network=NETWORK_PRESETS["edge-wan"],
+        chaos=ChaosConfig(wan_flaps=2),
+        detection=DetectionConfig(),
+        backoff=BackoffPolicy(),
+    )
+    platform = _run_platform(scenario, seed=1)
+    assert platform.chaos.wan_flaps_applied == 2
+    assert platform.chaos.wan_flap_skips == 0
+    # Capacity restored once the flap windows closed.
+    expected = NETWORK_PRESETS["edge-wan"].wan_uplink_bandwidth
+    for link in platform.network.wan_links:
+        assert link.bandwidth == expected
+    assert platform.summary().degraded_s >= 2 * 4.0
+
+
+def test_wan_flap_skips_without_wan_links():
+    scenario = ScenarioConfig(
+        workload="micro-python",
+        strategy="canary",
+        num_functions=4,
+        num_nodes=8,
+        network=NETWORK_PRESETS["10gbe"],
+        chaos=ChaosConfig(wan_flaps=3),
+        detection=DetectionConfig(),
+        backoff=BackoffPolicy(),
+    )
+    platform = _run_platform(scenario, seed=0)
+    assert platform.chaos.wan_flaps_applied == 0
+    assert platform.chaos.wan_flap_skips == 3
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_adaptive_repeat_run_byte_identical():
+    scenario = _chaotic_scenario()
+    first = run_scenario(scenario, seed=7)
+    second = run_scenario(scenario, seed=7)
+    assert asdict(first) == asdict(second)
+
+
+def test_adaptive_serial_vs_sharded_byte_identical():
+    scenario = _chaotic_scenario()
+    serial = run_scenario(scenario, seed=5)
+    sharded = run_scenario(scenario.with_(shards=4), seed=5)
+    assert asdict(serial) == asdict(sharded)
